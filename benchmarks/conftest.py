@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rows it reports (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them).  The experiment scale defaults to ``smoke`` so the whole harness
+completes in minutes; set ``REPRO_BENCH_SCALE=default`` (or ``full``) to
+regenerate at higher fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import make_factory
+from repro.experiments.config import get_scale
+from repro.machine import SYS1, SYS2, SYS3
+
+BENCH_SEED = 7
+
+
+def bench_scale():
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def sys1_factory(scale):
+    return make_factory(SYS1, scale, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def sys2_factory(scale):
+    return make_factory(SYS2, scale, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def sys3_factory(scale):
+    return make_factory(SYS3, scale, seed=BENCH_SEED)
+
+
+def report(title: str, body: str) -> None:
+    """Print a figure's regenerated rows under a banner."""
+    bar = "=" * 64
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

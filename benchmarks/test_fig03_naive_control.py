@@ -1,0 +1,19 @@
+"""Figure 3: naive constant-power feedback versus the formal controller."""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig03_naive_control
+
+
+def test_fig03_naive_vs_formal(benchmark, scale, sys1_factory):
+    result = benchmark.pedantic(
+        lambda: fig03_naive_control.run(scale=scale, seed=BENCH_SEED, factory=sys1_factory),
+        rounds=1, iterations=1,
+    )
+    rows = "\n".join(str(row) for row in result.rows())
+    report("Figure 3: naive feedback vs formal control (constant target)", rows)
+
+    # Paper shape: the naive trace misses the target and keeps the
+    # original's features; the formal controller does neither.
+    assert result.formal_mean_error_w < result.naive_mean_error_w
+    assert result.naive_app_correlation > result.formal_app_correlation + 0.2

@@ -1,0 +1,19 @@
+"""Figure 4 / Table II: mask families and their signal properties."""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig04_tab02_masks
+
+
+def test_fig04_table2_mask_properties(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: fig04_tab02_masks.run(scale=scale, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    report("Table II / Figure 4: mask signal properties", result.table())
+
+    # Every row of Table II must match the paper exactly.
+    assert result.all_match_paper(), result.table()
+    # The proposed mask is the only one with all four properties.
+    gs = result.rows["gaussian_sinusoid"]
+    assert gs.flags() == (True, True, True, True)

@@ -1,0 +1,28 @@
+"""Figure 6: application-detection attack on Sys1.
+
+Paper: Random Inputs 94%, Maya Constant 62%, Maya GS 14% (chance 9%).
+"""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig06_app_detection
+
+
+def test_fig06_app_detection(benchmark, scale, sys1_factory):
+    result = benchmark.pedantic(
+        lambda: fig06_app_detection.run(
+            scale=scale, seed=BENCH_SEED, factory=sys1_factory
+        ),
+        rounds=1, iterations=1,
+    )
+    report("Figure 6: detecting the running application", result.table())
+    for name, outcome in result.outcomes.items():
+        report(f"Figure 6 confusion matrix: {name}", outcome.result.formatted())
+
+    acc = result.accuracies
+    chance = result.chance
+    # Maya GS obfuscates to near-chance; the other designs leak heavily.
+    assert acc["maya_gs"] < chance + 0.15
+    assert acc["random_inputs"] > 2.0 * chance
+    assert acc["maya_constant"] > 2.0 * chance
+    assert acc["maya_gs"] < min(acc["random_inputs"], acc["maya_constant"]) - 0.15

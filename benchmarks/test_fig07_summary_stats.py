@@ -1,0 +1,33 @@
+"""Figure 7: summary statistics of averaged signals per defense."""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig07_summary_stats
+
+
+def test_fig07_summary_statistics(benchmark, scale, sys1_factory):
+    result = benchmark.pedantic(
+        lambda: fig07_summary_stats.run(
+            scale=scale, seed=BENCH_SEED, factory=sys1_factory
+        ),
+        rounds=1, iterations=1,
+    )
+    lines = [result.table(), ""]
+    for defense, boxes in result.boxes.items():
+        lines.append(f"-- {defense}")
+        for app, stats in boxes.items():
+            lines.append(
+                f"   {app:<16} median={stats.median:6.2f} "
+                f"iqr={stats.iqr:5.2f} whiskers=[{stats.whisker_low:5.2f},"
+                f" {stats.whisker_high:5.2f}]"
+            )
+    report("Figure 7: box statistics of averaged traces", "\n".join(lines))
+
+    spread = result.median_spread_w
+    # Paper shape: distributions get progressively closer; Maya GS makes
+    # them near-identical (Figure 7d) while Noisy Baseline fingerprints
+    # every app (Figure 7a).
+    assert spread["maya_gs"] < 1.0
+    assert spread["maya_gs"] < spread["noisy_baseline"] / 3.0
+    assert spread["maya_gs"] <= spread["maya_constant"] + 0.5
+    assert result.mean_overlap["maya_gs"] > result.mean_overlap["noisy_baseline"]

@@ -1,0 +1,26 @@
+"""Figure 8: video-detection attack on Sys2.
+
+Paper: Random Inputs 72%, Maya Constant 90%, Maya GS 24% (chance 25%).
+"""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig08_video_detection
+
+
+def test_fig08_video_detection(benchmark, scale, sys2_factory):
+    result = benchmark.pedantic(
+        lambda: fig08_video_detection.run(
+            scale=scale, seed=BENCH_SEED, factory=sys2_factory
+        ),
+        rounds=1, iterations=1,
+    )
+    report("Figure 8: detecting the video being encoded", result.table())
+
+    acc = result.accuracies
+    chance = result.chance
+    # Only Maya GS hides the video; both other designs leak.
+    assert acc["maya_gs"] < chance + 0.20
+    assert acc["random_inputs"] > chance + 0.20
+    assert acc["maya_constant"] > chance + 0.20
+    assert acc["maya_gs"] < min(acc["random_inputs"], acc["maya_constant"]) - 0.15

@@ -1,0 +1,29 @@
+"""Figure 9: webpage-detection attack via the AC outlet on Sys3.
+
+Paper: Random Inputs 51%, Maya Constant 40%, Maya GS 10% (chance 14%).
+"""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig09_webpage_detection
+
+
+def test_fig09_webpage_detection(benchmark, scale, sys3_factory):
+    result = benchmark.pedantic(
+        lambda: fig09_webpage_detection.run(
+            scale=scale, seed=BENCH_SEED, factory=sys3_factory
+        ),
+        rounds=1, iterations=1,
+    )
+    report("Figure 9: detecting webpages from outlet power (FFT attack)", result.table())
+
+    acc = result.accuracies
+    chance = result.chance
+    # Maya GS is at chance (paper: 10% vs 14% chance) and Maya Constant
+    # leaks pages (paper: 40%).  Known divergence, recorded in
+    # EXPERIMENTS.md: our simulated Haswell's input randomization is
+    # relatively stronger than the real Sys3's, so Random Inputs lands at
+    # chance here instead of the paper's 51%.
+    assert acc["maya_gs"] < chance + 0.12
+    assert acc["maya_constant"] > chance + 0.15
+    assert acc["maya_gs"] < acc["maya_constant"] - 0.10

@@ -1,0 +1,29 @@
+"""Figure 11: change-point analysis of blackscholes per defense."""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig11_changepoints
+
+
+def test_fig11_changepoint_detection(benchmark, scale, sys1_factory):
+    result = benchmark.pedantic(
+        lambda: fig11_changepoints.run(
+            scale=scale, seed=BENCH_SEED, factory=sys1_factory
+        ),
+        rounds=1, iterations=1,
+    )
+    report("Figure 11: change-point detection on blackscholes", result.table())
+
+    rows = result.per_defense
+    # Phases recoverable without Maya GS (excess over chance detections).
+    assert rows["noisy_baseline"].excess_recall > 0.5
+    assert rows["maya_constant"].excess_recall > 0.5
+    # Maya GS: many artificial phases, the true ones at ~chance level, and
+    # the application's completion stays invisible.
+    assert rows["maya_gs"].detected_times_s.size >= 5
+    assert not rows["maya_gs"].completion_detected
+    leaky_completion = [
+        rows[name].completion_detected
+        for name in ("noisy_baseline", "random_inputs")
+    ]
+    assert any(leaky_completion)

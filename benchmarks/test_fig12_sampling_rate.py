@@ -1,0 +1,23 @@
+"""Figure 12: attacker sampling at 2/5/10/20 ms against Maya GS."""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig12_sampling_rate
+
+
+def test_fig12_sampling_rates(benchmark, scale, sys1_factory):
+    result = benchmark.pedantic(
+        lambda: fig12_sampling_rate.run(
+            scale=scale, seed=BENCH_SEED, factory=sys1_factory
+        ),
+        rounds=1, iterations=1,
+    )
+    report("Figure 12: detection accuracy vs attacker sampling interval",
+           result.table())
+
+    # Paper: faster sampling does not help; accuracy stays near chance at
+    # every rate.
+    for interval, accuracy in result.accuracies.items():
+        assert accuracy < result.chance + 0.20, f"leak at {interval*1e3:.0f} ms"
+    spread = max(result.accuracies.values()) - min(result.accuracies.values())
+    assert spread < 0.25

@@ -1,0 +1,21 @@
+"""Figure 13: mask targets versus measured power (controller quality)."""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig13_tracking
+
+
+def test_fig13_tracking_effectiveness(benchmark, scale, sys1_factory):
+    result = benchmark.pedantic(
+        lambda: fig13_tracking.run(scale=scale, seed=BENCH_SEED, factory=sys1_factory),
+        rounds=1, iterations=1,
+    )
+    report("Figure 13: mask vs measured power distributions", result.table())
+
+    # Section V-A: the guardband/deviation-bound choice targets ~10%.
+    assert result.relative_tracking_error < 0.10
+    for app, overlap in result.overlap.items():
+        assert overlap > 0.6, app
+    for app in result.mask_boxes:
+        gap = abs(result.mask_boxes[app].median - result.measured_boxes[app].median)
+        assert gap < 1.0, app

@@ -1,0 +1,32 @@
+"""Figure 14 + Section VII-E energy: power and performance overheads."""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig14_overheads
+
+
+def test_fig14_power_performance_overheads(benchmark, scale, sys1_factory):
+    result = benchmark.pedantic(
+        lambda: fig14_overheads.run(scale=scale, seed=BENCH_SEED, factory=sys1_factory),
+        rounds=1, iterations=1,
+    )
+    lines = [result.table(), "", "per-app baseline reference:"]
+    for app in result.baseline_power_w:
+        lines.append(
+            f"  {app:<16} {result.baseline_power_w[app]:6.2f} W, "
+            f"{result.baseline_time_s[app]:6.1f} s"
+        )
+    report("Figure 14: power / execution time vs insecure Baseline", "\n".join(lines))
+
+    # Paper shape assertions:
+    for defense in result.time_ratio:
+        # (a) every defense slows execution down,
+        assert result.mean_time_ratio(defense) > 1.1, defense
+    # (b) Maya GS has the lowest execution-time overhead of the defenses,
+    gs_time = result.mean_time_ratio("maya_gs")
+    for defense in ("noisy_baseline", "random_inputs", "maya_constant"):
+        assert gs_time <= result.mean_time_ratio(defense) + 0.15, defense
+    # (c) Maya GS total energy is the closest to Baseline (Section VII-E).
+    gs_energy_gap = abs(result.mean_energy_ratio("maya_gs") - 1.0)
+    for defense in ("noisy_baseline", "random_inputs", "maya_constant"):
+        assert gs_energy_gap <= abs(result.mean_energy_ratio(defense) - 1.0) + 0.4

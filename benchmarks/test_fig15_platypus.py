@@ -1,0 +1,24 @@
+"""Figure 15: hiding the executed instruction (PLATYPUS defense)."""
+
+from conftest import BENCH_SEED, report
+
+from repro.experiments import fig15_platypus
+
+
+def test_fig15_platypus_defense(benchmark, scale, sys1_factory):
+    result = benchmark.pedantic(
+        lambda: fig15_platypus.run(scale=scale, seed=BENCH_SEED, factory=sys1_factory),
+        rounds=1, iterations=1,
+    )
+    lines = [result.table(), ""]
+    for defense, averages in result.averages.items():
+        means = ", ".join(f"{ins}={avg.mean():.2f}W" for ins, avg in averages.items())
+        lines.append(f"{defense:<12} {means}")
+    report("Figure 15: imul/mov/xor under Baseline vs Maya GS", "\n".join(lines))
+
+    # Paper: clearly separated on the Baseline (Figure 15a/c), practically
+    # indistinguishable under Maya GS (Figure 15b/d).
+    assert result.separation["baseline"] > 2.0
+    assert result.classifier_accuracy["baseline"] > 0.9
+    assert result.separation["maya_gs"] < 0.5
+    assert result.classifier_accuracy["maya_gs"] < 0.6

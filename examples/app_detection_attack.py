@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The Figure 6 attack, end to end, at demo scale.
+
+An attacker records RAPL power traces of applications running on Sys1,
+trains an MLP classifier, and tries to identify the running application —
+first against the insecure baseline, then against Maya GS.  The attacker
+adapts: training data is collected with the defense active.
+
+Run:  python examples/app_detection_attack.py          (~2 minutes)
+"""
+
+from repro.attacks import AttackScenario, run_attack
+from repro.attacks.mlp import MLPConfig
+from repro.defenses import DefenseFactory
+from repro.machine import SYS1
+
+SEED = 7
+APPS = ("volrend", "canneal", "raytrace", "water_nsquared")
+
+
+def attack(factory: DefenseFactory, defense: str) -> None:
+    scenario = AttackScenario(
+        name="demo",
+        spec=SYS1,
+        class_workloads=APPS,
+        defense=defense,
+        runs_per_class=16,
+        duration_s=16.0,
+        segment_duration_s=12.0,
+        segment_stride_s=2.0,
+        pool=20,
+        mlp=MLPConfig(hidden_sizes=(128, 64), max_epochs=50),
+        seed=SEED,
+    )
+    outcome = run_attack(scenario, factory)
+    print(f"\n--- victim defended by: {defense}")
+    print(outcome.result.formatted())
+
+
+def main() -> None:
+    print(f"Attack: identify which of {len(APPS)} applications is running")
+    print(f"victims: {', '.join(APPS)}")
+    factory = DefenseFactory(SYS1, seed=SEED)
+    for defense in ("baseline", "maya_constant", "maya_gs"):
+        attack(factory, defense)
+    print(
+        "\nExpected shape (paper Figure 6): near-perfect detection on the"
+        "\nbaseline, substantial leakage through the constant mask, and"
+        "\nchance-level accuracy against Maya GS."
+    )
+
+
+if __name__ == "__main__":
+    main()

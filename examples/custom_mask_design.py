@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Designing masks: why the gaussian sinusoid (Section IV-C / Table II).
+
+Generates each of the paper's five candidate masks, classifies its time-
+and frequency-domain behaviour, and shows how to deploy Maya with a custom
+mask family and band.
+
+Run:  python examples/custom_mask_design.py
+"""
+
+import numpy as np
+
+from repro import MayaConfig, SYS1, build_maya_design, make_machine, run_session
+from repro.core.config import default_mask_range
+from repro.defenses import MayaDefense
+from repro.machine import spawn
+from repro.masks import MASK_FAMILIES, analyze_signal, make_mask
+from repro.workloads import parsec_program
+
+SEED = 5
+
+
+def table2() -> None:
+    print("Table II: what each mask changes (20 s of targets at 50 Hz)")
+    print(f"{'signal':<20}{'mean':>6}{'var':>6}{'spread':>8}{'peaks':>7}")
+    band = default_mask_range(SYS1)
+    for family in MASK_FAMILIES:
+        mask = make_mask(family, band, spawn(SEED, "t2", family))
+        props = analyze_signal(mask.generate(1500))
+        row = props.as_row()
+        print(f"{family:<20}{row['mean']:>6}{row['variance']:>6}"
+              f"{row['spread']:>8}{row['peaks']:>7}")
+
+
+def deploy_custom() -> None:
+    print("\nDeploying Maya with a custom mask (sinusoid, narrow 14-22 W band):")
+    config = MayaConfig(mask_family="sinusoid", mask_range_w=(14.0, 22.0))
+    design = build_maya_design(SYS1, config, seed=SEED)
+    machine = make_machine(SYS1, parsec_program("vips"), seed=SEED, run_id="custom")
+    trace = run_session(machine, MayaDefense(design), seed=SEED, run_id="custom",
+                        duration_s=12.0)
+    errors = trace.tracking_error()
+    targets = trace.target_w[np.isfinite(trace.target_w)]
+    print(f"  defense name: {MayaDefense(design).name}")
+    print(f"  measured power stayed in "
+          f"[{trace.measured_w.min():.1f}, {trace.measured_w.max():.1f}] W")
+    print(f"  tracking error {errors.mean():.2f} W "
+          f"({errors.mean() / targets.mean():.1%})")
+    print("  NOTE: a pure sinusoid mask is trackable but filterable — "
+          "Table II is why the paper ships the gaussian sinusoid.")
+
+
+def main() -> None:
+    table2()
+    deploy_custom()
+
+
+if __name__ == "__main__":
+    main()

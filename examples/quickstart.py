@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy Maya on a simulated machine and watch it work.
+
+Builds the per-platform Maya design (system identification + controller
+synthesis), runs one PARSEC application under the gaussian-sinusoid mask,
+and reports how closely the machine's power followed the mask — and how
+little it resembles the undefended execution.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SYS1, build_maya_design, make_machine, run_session
+from repro.analysis import amplitude_spectrum, spectral_peaks
+from repro.defenses import Baseline, MayaDefense
+from repro.workloads import parsec_program
+
+SEED = 42
+
+
+def main() -> None:
+    print("== 1. Designing Maya for Sys1 (system ID + LQG synthesis) ==")
+    design = build_maya_design(SYS1, seed=SEED)
+    plant = design.plant
+    print(f"   identified ARX model: na={plant.arx.na}, nb={plant.arx.nb}, "
+          f"one-step R^2 = {plant.fit_r2:.3f}")
+    print(f"   controller state elements: {design.controller.n_states} "
+          f"(paper: 11), closed loop stable: {design.controller.is_stable()}")
+    low, high = design.mask_range_w
+    print(f"   mask power band: {low:.1f} - {high:.1f} W (TDP {SYS1.tdp_w:.0f} W)")
+
+    print("\n== 2. Running bodytrack undefended and under Maya GS ==")
+    app = "bodytrack"
+
+    machine = make_machine(SYS1, parsec_program(app), seed=SEED, run_id="base")
+    baseline = run_session(machine, Baseline(), seed=SEED, run_id="base",
+                           duration_s=20.0)
+    machine = make_machine(SYS1, parsec_program(app), seed=SEED, run_id="maya")
+    defended = run_session(machine, MayaDefense(design), seed=SEED, run_id="maya",
+                           duration_s=20.0)
+
+    print(f"   baseline: {baseline.average_power_w:.1f} W average")
+    print(f"   Maya GS : {defended.average_power_w:.1f} W average")
+
+    print("\n== 3. Tracking quality (the formal-control guarantee) ==")
+    errors = defended.tracking_error()
+    targets = defended.target_w[np.isfinite(defended.target_w)]
+    measured = defended.measured_w[np.isfinite(defended.target_w)]
+    print(f"   mean |target - measured| = {errors.mean():.2f} W "
+          f"({errors.mean() / targets.mean():.1%} of the mean target)")
+    print(f"   corr(target, measured)   = "
+          f"{np.corrcoef(targets, measured)[0, 1]:.3f}")
+
+    print("\n== 4. Obfuscation: where did the application's spectrum go? ==")
+    for name, trace in (("baseline", baseline), ("maya gs ", defended)):
+        freqs, mags = amplitude_spectrum(trace.measured_w, trace.interval_s)
+        peaks = spectral_peaks(freqs, mags, prominence_factor=5.0)[:3]
+        rendered = ", ".join(f"{f:.2f} Hz" for f, _ in peaks) or "none"
+        print(f"   {name}: dominant spectral lines -> {rendered}")
+    print("   (bodytrack's frame loop is visible on the baseline and should"
+          " be absent — or replaced by mask artifacts — under Maya)")
+
+    n = min(baseline.n_intervals, defended.n_intervals)
+    corr = np.corrcoef(baseline.measured_w[:n], defended.measured_w[:n])[0, 1]
+    print(f"\n   corr(defended power, undefended power) = {corr:+.3f} (~0 is ideal)")
+
+
+if __name__ == "__main__":
+    main()

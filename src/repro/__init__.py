@@ -1,0 +1,47 @@
+"""Reproduction of *Maya: Using Formal Control to Obfuscate Power Side
+Channels* (Pothukuchi et al., ISCA 2021).
+
+Quick start::
+
+    from repro import SYS1, MayaConfig, build_maya_design, make_machine, run_session
+    from repro.defenses import MayaDefense
+    from repro.workloads import parsec_program
+
+    design = build_maya_design(SYS1)
+    machine = make_machine(SYS1, parsec_program("blackscholes"), seed=1, run_id=0)
+    trace = run_session(machine, MayaDefense(design), seed=1, duration_s=10.0)
+    print(trace.summary())
+
+See DESIGN.md for the module inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .core import (
+    MayaConfig,
+    MayaDesign,
+    MayaInstance,
+    build_maya_design,
+    default_mask_range,
+    make_machine,
+    run_session,
+)
+from .machine import SYS1, SYS2, SYS3, PlatformSpec, Trace, get_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MayaConfig",
+    "MayaDesign",
+    "MayaInstance",
+    "build_maya_design",
+    "default_mask_range",
+    "make_machine",
+    "run_session",
+    "SYS1",
+    "SYS2",
+    "SYS3",
+    "PlatformSpec",
+    "Trace",
+    "get_platform",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig04
+    python -m repro run fig06 --scale default --seed 3
+    python -m repro run all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS, SCALES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maya (ISCA 2021) reproduction: experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (e.g. fig06) or 'all'")
+    run.add_argument("--scale", default="smoke", choices=sorted(SCALES),
+                     help="experiment scale (default: smoke)")
+    run.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_one(key: str, scale: str, seed: int) -> None:
+    module = EXPERIMENTS[key]
+    print(f"== {key} (scale={scale}, seed={seed}) ==")
+    start = time.time()
+    result = module.run(scale=scale, seed=seed)
+    elapsed = time.time() - start
+    if hasattr(result, "table"):
+        print(result.table())
+    else:
+        print(result)
+    print(f"[{elapsed:.1f}s]\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for key in sorted(set(EXPERIMENTS) - {"tab02"}):
+            doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
+            print(f"{key:<8} {doc}")
+        return 0
+
+    if args.experiment == "all":
+        keys = sorted(set(EXPERIMENTS) - {"tab02"})
+    else:
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        keys = [args.experiment]
+    for key in keys:
+        _run_one(key, args.scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

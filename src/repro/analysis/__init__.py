@@ -1,0 +1,24 @@
+"""Signal-analysis substrate: change points, DTW, spectra, summaries."""
+
+from .changepoint import changepoint_times, gaussian_cost, pelt
+from .dtw import dtw_distance, dtw_normalized
+from .leakage import leakage_per_feature, mutual_information_bits
+from .spectrum import amplitude_spectrum, spectral_energy_spread, spectral_peaks
+from .summary import BoxStats, average_traces, box_stats, distribution_overlap
+
+__all__ = [
+    "changepoint_times",
+    "gaussian_cost",
+    "pelt",
+    "dtw_distance",
+    "dtw_normalized",
+    "leakage_per_feature",
+    "mutual_information_bits",
+    "amplitude_spectrum",
+    "spectral_energy_spread",
+    "spectral_peaks",
+    "BoxStats",
+    "average_traces",
+    "box_stats",
+    "distribution_overlap",
+]

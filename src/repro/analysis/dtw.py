@@ -1,0 +1,51 @@
+"""Dynamic time warping (Section VII-B).
+
+The paper reports that DTW — among other signal-processing tools — fails to
+recover application structure from Maya GS traces.  This is the classic
+O(n*m) dynamic program with an optional Sakoe-Chiba band, vectorized one
+row at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dtw_distance", "dtw_normalized"]
+
+
+def dtw_distance(a: np.ndarray, b: np.ndarray, band: int | None = None) -> float:
+    """DTW alignment cost between two 1-D sequences (absolute difference).
+
+    ``band`` constrains |i - j| to the Sakoe-Chiba radius; ``None`` means
+    unconstrained.
+    """
+    a = np.asarray(a, dtype=float).reshape(-1)
+    b = np.asarray(b, dtype=float).reshape(-1)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("sequences must be non-empty")
+    n, m = a.size, b.size
+    if band is not None and band < abs(n - m):
+        raise ValueError("band too narrow to align sequences of these lengths")
+
+    prev = np.full(m + 1, np.inf)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        current = np.full(m + 1, np.inf)
+        if band is None:
+            lo, hi = 1, m
+        else:
+            lo = max(1, i - band)
+            hi = min(m, i + band)
+        dist = np.abs(a[i - 1] - b[lo - 1:hi])
+        # current[j] = dist + min(prev[j], prev[j-1], current[j-1])
+        for offset, j in enumerate(range(lo, hi + 1)):
+            current[j] = dist[offset] + min(prev[j], prev[j - 1], current[j - 1])
+        prev = current
+    return float(prev[m])
+
+
+def dtw_normalized(a: np.ndarray, b: np.ndarray, band: int | None = None) -> float:
+    """DTW cost per alignment step (comparable across lengths)."""
+    a = np.asarray(a, dtype=float).reshape(-1)
+    b = np.asarray(b, dtype=float).reshape(-1)
+    return dtw_distance(a, b, band) / (a.size + b.size)

@@ -1,0 +1,64 @@
+"""Frequency-domain utilities used throughout the evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["amplitude_spectrum", "spectral_peaks", "spectral_energy_spread"]
+
+
+def amplitude_spectrum(
+    signal: np.ndarray, interval_s: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided FFT magnitude of a (de-meaned) signal.
+
+    Returns ``(frequencies_hz, magnitudes)``; the DC bin is dropped, as in
+    the paper's Figure 4 spectra.
+    """
+    signal = np.asarray(signal, dtype=float).reshape(-1)
+    if signal.size < 4:
+        raise ValueError("signal too short for a spectrum")
+    mags = np.abs(np.fft.rfft(signal - signal.mean())) / signal.size * 2.0
+    freqs = np.fft.rfftfreq(signal.size, d=interval_s)
+    return freqs[1:], mags[1:]
+
+
+def spectral_peaks(
+    freqs: np.ndarray,
+    mags: np.ndarray,
+    prominence_factor: float = 6.0,
+    max_peaks: int = 16,
+) -> list[tuple[float, float]]:
+    """Locate discrete spectral lines: local maxima that stand
+    ``prominence_factor`` times above the median magnitude.
+
+    Returns ``(frequency, magnitude)`` pairs, strongest first.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    mags = np.asarray(mags, dtype=float)
+    if freqs.shape != mags.shape:
+        raise ValueError("freqs and mags must have matching shapes")
+    threshold = prominence_factor * float(np.median(mags))
+    peaks = []
+    for i in range(1, mags.size - 1):
+        if mags[i] >= mags[i - 1] and mags[i] >= mags[i + 1] and mags[i] > threshold:
+            peaks.append((float(freqs[i]), float(mags[i])))
+    peaks.sort(key=lambda p: -p[1])
+    return peaks[:max_peaks]
+
+
+def spectral_energy_spread(mags: np.ndarray, top_bins: int = 5) -> float:
+    """Fraction of spectral energy outside the strongest ``top_bins`` bins.
+
+    Near 0 for a pure multi-tone signal, near 1 for a spread spectrum —
+    the 'Spread' column of Table II.
+    """
+    mags = np.asarray(mags, dtype=float).reshape(-1)
+    energy = mags**2
+    total = float(energy.sum())
+    if total <= 0.0:
+        return 0.0
+    top = float(np.sort(energy)[-top_bins:].sum())
+    return 1.0 - top / total

@@ -1,0 +1,89 @@
+"""Summary statistics of averaged signals (Section VII-B, Figure 7).
+
+The paper averages all traces of an application and compares the power-value
+distributions across applications with box plots: an effective defense makes
+the boxes near-identical.  This module computes those box statistics and the
+cross-application similarity measures the tests and benches assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats", "average_traces", "distribution_overlap"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Matplotlib-style box-plot statistics with 1.5 IQR whiskers."""
+
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    n_outliers: int
+    mean: float
+    std: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def box_stats(values: np.ndarray) -> BoxStats:
+    """Box statistics of a sample, outliers beyond 1.5 IQR whiskers."""
+    values = np.asarray(values, dtype=float).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q1, median, q3 = np.percentile(values, [25, 50, 75])
+    iqr = q3 - q1
+    low_limit = q1 - 1.5 * iqr
+    high_limit = q3 + 1.5 * iqr
+    inside = values[(values >= low_limit) & (values <= high_limit)]
+    whisker_low = float(inside.min()) if inside.size else float(values.min())
+    whisker_high = float(inside.max()) if inside.size else float(values.max())
+    n_outliers = int(np.sum((values < low_limit) | (values > high_limit)))
+    return BoxStats(
+        median=float(median),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        n_outliers=n_outliers,
+        mean=float(values.mean()),
+        std=float(values.std()),
+    )
+
+
+def average_traces(traces: list[np.ndarray]) -> np.ndarray:
+    """Element-wise average of runs, trimmed to the shortest run."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    length = min(trace.size for trace in traces)
+    if length == 0:
+        raise ValueError("traces must be non-empty")
+    stacked = np.stack([np.asarray(t, dtype=float)[:length] for t in traces])
+    return stacked.mean(axis=0)
+
+
+def distribution_overlap(a: np.ndarray, b: np.ndarray, n_bins: int = 40) -> float:
+    """Histogram-intersection overlap of two samples, in [0, 1].
+
+    1 means identical distributions (what Maya GS achieves across
+    applications in Figure 7d); small values mean distinguishable ones.
+    """
+    a = np.asarray(a, dtype=float).reshape(-1)
+    b = np.asarray(b, dtype=float).reshape(-1)
+    lo = min(a.min(), b.min())
+    hi = max(a.max(), b.max())
+    if hi - lo < 1e-12:
+        return 1.0
+    bins = np.linspace(lo, hi, n_bins + 1)
+    ha, _ = np.histogram(a, bins=bins, density=False)
+    hb, _ = np.histogram(b, bins=bins, density=False)
+    pa = ha / ha.sum()
+    pb = hb / hb.sum()
+    return float(np.minimum(pa, pb).sum())

@@ -1,0 +1,41 @@
+"""Attacker substrate: ML-based power side-channel attacks (Table IV)."""
+
+from .covert import (
+    CovertChannelResult,
+    CovertReceiver,
+    CovertSender,
+    random_bits,
+)
+from .features import FeatureConfig, TraceFeaturizer, segment_trace
+from .metrics import ConfusionResult, confusion_matrix
+from .mlp import MLPClassifier, MLPConfig
+from .template import GaussianTemplateClassifier
+from .pipeline import (
+    AttackOutcome,
+    AttackScenario,
+    run_attack,
+    sample_runs,
+    simulate_runs,
+    train_and_evaluate,
+)
+
+__all__ = [
+    "CovertChannelResult",
+    "CovertReceiver",
+    "CovertSender",
+    "random_bits",
+    "FeatureConfig",
+    "TraceFeaturizer",
+    "segment_trace",
+    "ConfusionResult",
+    "confusion_matrix",
+    "MLPClassifier",
+    "MLPConfig",
+    "GaussianTemplateClassifier",
+    "AttackOutcome",
+    "AttackScenario",
+    "run_attack",
+    "sample_runs",
+    "simulate_runs",
+    "train_and_evaluate",
+]

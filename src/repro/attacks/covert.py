@@ -1,0 +1,137 @@
+"""The remote power covert channel that Maya thwarted (Section I).
+
+Shao et al. exfiltrate data across a building's power delivery network: a
+victim-resident sender modulates the machine's power (high power = 1, low
+power = 0) and a receiver on another outlet of the same network decodes the
+bits — one bit per ~33 ms in the original attack, with no physical access
+to the victim.
+
+This module implements the channel against the simulated machine:
+
+* :class:`CovertSender` is a workload whose activity encodes a bit string
+  (an on-off-keyed power pattern);
+* :class:`CovertReceiver` decodes bits from outlet samples by thresholding
+  per-bit mean power against the trace's own median.
+
+Against the Baseline the channel is essentially error-free.  Under Maya,
+power follows the mask rather than the sender, and the received bits decay
+to coin flips — the result Shao et al. measured when they deployed Maya
+(Section I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine import OutletMeter, PlatformSpec, Trace, spawn
+from ..workloads.phases import Phase, PhaseProgram
+
+__all__ = ["CovertSender", "CovertReceiver", "CovertChannelResult", "random_bits"]
+
+
+def random_bits(n_bits: int, rng: np.random.Generator) -> np.ndarray:
+    """A payload with a balanced number of 0s and 1s, shuffled."""
+    if n_bits < 2:
+        raise ValueError("need at least two bits")
+    bits = np.zeros(n_bits, dtype=int)
+    bits[: n_bits // 2] = 1
+    rng.shuffle(bits)
+    return bits
+
+
+class CovertSender:
+    """Builds the sender workload: per-bit high/low activity periods."""
+
+    def __init__(
+        self,
+        bits: np.ndarray,
+        bit_period_s: float = 0.2,
+        high_activity: float = 0.85,
+        low_activity: float = 0.05,
+    ) -> None:
+        bits = np.asarray(bits, dtype=int)
+        if bits.size == 0 or not set(np.unique(bits)) <= {0, 1}:
+            raise ValueError("bits must be a non-empty 0/1 array")
+        if bit_period_s <= 0:
+            raise ValueError("bit_period_s must be positive")
+        self.bits = bits
+        self.bit_period_s = bit_period_s
+        self.high_activity = high_activity
+        self.low_activity = low_activity
+
+    @property
+    def duration_s(self) -> float:
+        return self.bits.size * self.bit_period_s
+
+    def program(self) -> PhaseProgram:
+        """The on-off-keyed transmission as a phase program."""
+        phases = []
+        for index, bit in enumerate(self.bits):
+            activity = self.high_activity if bit else self.low_activity
+            phases.append(
+                Phase(
+                    name=f"bit_{index}_{bit}",
+                    work_units=self.bit_period_s,
+                    activity=activity,
+                    core_fraction=1.0,
+                    memory_intensity=0.0,
+                )
+            )
+        return PhaseProgram(name="covert_sender", family="covert", phases=tuple(phases))
+
+
+@dataclass(frozen=True)
+class CovertChannelResult:
+    """Decoding outcome of one transmission."""
+
+    sent: np.ndarray
+    received: np.ndarray
+    bit_error_rate: float
+
+    @property
+    def n_bits(self) -> int:
+        return self.sent.size
+
+    @property
+    def channel_closed(self) -> bool:
+        """BER near 0.5 means the receiver is guessing."""
+        return self.bit_error_rate > 0.3
+
+
+class CovertReceiver:
+    """Decodes bits from outlet power samples (threshold detector)."""
+
+    def __init__(self, spec: PlatformSpec, seed: int = 0, run_id: object = 0) -> None:
+        self.spec = spec
+        self._meter = OutletMeter(spec, spawn(seed, "covert-meter", run_id))
+
+    def decode(self, trace: Trace, sender: CovertSender) -> CovertChannelResult:
+        """Sample the trace through the outlet and threshold per bit slot.
+
+        The receiver knows the bit period and alignment (best case for the
+        attacker) and compares each slot's mean power against the whole
+        transmission's median — the standard OOK decision rule.
+        """
+        samples = self._meter.sample_trace(trace.power_w, trace.tick_s)
+        interval = self._meter.sample_interval_s
+        per_bit = sender.bit_period_s / interval
+        received = []
+        for index in range(sender.bits.size):
+            start = int(round(index * per_bit))
+            stop = int(round((index + 1) * per_bit))
+            stop = min(stop, samples.size)
+            if start >= stop:
+                received.append(0)
+                continue
+            received.append(float(samples[start:stop].mean()))
+        levels = np.asarray(received, dtype=float)
+        threshold = float(np.median(levels))
+        decoded = (levels > threshold).astype(int)
+        errors = int(np.sum(decoded != sender.bits))
+        return CovertChannelResult(
+            sent=sender.bits.copy(),
+            received=decoded,
+            bit_error_rate=errors / sender.bits.size,
+        )

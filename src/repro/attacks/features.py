@@ -1,0 +1,140 @@
+"""Trace preprocessing: the attacker's feature pipeline (Section VI-A).
+
+For the application- and video-detection attacks the paper segments each
+trace, averages five consecutive measurements "to remove the effects of
+noise", quantizes power into 10 levels, and one-hot encodes the result.  For
+the webpage attack it uses the trace's FFT magnitudes, because browser
+activity "has varying rates of change in a short duration".
+
+:class:`TraceFeaturizer` implements both modes.  Quantization bounds are
+learned from the training data only (the attacker cannot know the test
+distribution in advance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FeatureConfig", "TraceFeaturizer", "segment_trace"]
+
+
+def segment_trace(trace: np.ndarray, segment_len: int, stride: int | None = None) -> np.ndarray:
+    """Extract fixed-length segments from a 1-D trace.
+
+    Returns an array of shape ``(n_segments, segment_len)``.  By default
+    segments do not overlap (``stride = segment_len``).
+    """
+    trace = np.asarray(trace, dtype=float).reshape(-1)
+    if segment_len < 1:
+        raise ValueError("segment_len must be positive")
+    stride = segment_len if stride is None else stride
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    starts = range(0, trace.size - segment_len + 1, stride)
+    segments = [trace[s:s + segment_len] for s in starts]
+    if not segments:
+        raise ValueError(
+            f"trace of {trace.size} samples too short for segments of {segment_len}"
+        )
+    return np.asarray(segments)
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Configuration of the attacker's preprocessing."""
+
+    mode: str = "onehot"  # "onehot" or "fft"
+    #: Samples per segment fed to one classification (before pooling).
+    segment_len: int = 300
+    #: Consecutive measurements averaged together (paper: 5).
+    pool: int = 5
+    #: Quantization levels (paper: 10).
+    n_levels: int = 10
+    #: FFT bins kept in "fft" mode (magnitudes of the lowest frequencies).
+    fft_bins: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("onehot", "fft"):
+            raise ValueError("mode must be 'onehot' or 'fft'")
+        if self.segment_len < self.pool:
+            raise ValueError("segment_len must be >= pool")
+        if self.n_levels < 2:
+            raise ValueError("need at least two quantization levels")
+
+
+class TraceFeaturizer:
+    """Learned preprocessing from raw power segments to MLP features."""
+
+    def __init__(self, config: FeatureConfig | None = None) -> None:
+        self.config = config or FeatureConfig()
+        self._low: float | None = None
+        self._high: float | None = None
+
+    @property
+    def n_features(self) -> int:
+        cfg = self.config
+        if cfg.mode == "onehot":
+            return (cfg.segment_len // cfg.pool) * cfg.n_levels
+        return min(cfg.fft_bins, cfg.segment_len // 2)
+
+    def fit(self, segments: np.ndarray) -> "TraceFeaturizer":
+        """Learn quantization bounds from training segments."""
+        segments = np.asarray(segments, dtype=float)
+        # Near-min/max bounds (only the most extreme 0.1% clipped): the
+        # grid must cover transient spikes, like the paper's 10-level
+        # quantization over the observed power range.
+        self._low = float(np.quantile(segments, 0.001))
+        self._high = float(np.quantile(segments, 0.999))
+        if self._high - self._low < 1e-9:
+            self._high = self._low + 1e-9
+        return self
+
+    def transform(self, segments: np.ndarray) -> np.ndarray:
+        """Map segments of shape (n, segment_len) to feature matrix."""
+        segments = np.atleast_2d(np.asarray(segments, dtype=float))
+        if segments.shape[1] != self.config.segment_len:
+            raise ValueError(
+                f"expected segments of {self.config.segment_len} samples, "
+                f"got {segments.shape[1]}"
+            )
+        if self.config.mode == "onehot":
+            return self._onehot_features(segments)
+        return self._fft_features(segments)
+
+    def fit_transform(self, segments: np.ndarray) -> np.ndarray:
+        return self.fit(segments).transform(segments)
+
+    # -- internals -------------------------------------------------------
+
+    def _pooled(self, segments: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        n_pooled = cfg.segment_len // cfg.pool
+        trimmed = segments[:, : n_pooled * cfg.pool]
+        return trimmed.reshape(segments.shape[0], n_pooled, cfg.pool).mean(axis=2)
+
+    def _onehot_features(self, segments: np.ndarray) -> np.ndarray:
+        if self._low is None or self._high is None:
+            raise RuntimeError("featurizer must be fit before transform")
+        cfg = self.config
+        pooled = self._pooled(segments)
+        frac = (pooled - self._low) / (self._high - self._low)
+        levels = np.clip((frac * cfg.n_levels).astype(int), 0, cfg.n_levels - 1)
+        n, m = levels.shape
+        onehot = np.zeros((n, m, cfg.n_levels))
+        rows = np.repeat(np.arange(n), m)
+        cols = np.tile(np.arange(m), n)
+        onehot[rows, cols, levels.ravel()] = 1.0
+        return onehot.reshape(n, m * cfg.n_levels)
+
+    def _fft_features(self, segments: np.ndarray) -> np.ndarray:
+        spectra = np.abs(np.fft.rfft(segments - segments.mean(axis=1, keepdims=True), axis=1))
+        spectra = spectra[:, 1:self.n_features + 1]
+        # Log magnitudes compress the dynamic range so strong low-frequency
+        # content cannot drown the informative burst lines, and per-segment
+        # normalization keeps only the spectrum's shape — the attacker does
+        # not care about the absolute power scale.
+        spectra = np.log1p(spectra)
+        norms = np.linalg.norm(spectra, axis=1, keepdims=True)
+        return spectra / np.maximum(norms, 1e-12)

@@ -1,0 +1,62 @@
+"""Classification metrics: confusion matrices as in Figures 6, 8 and 9."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "ConfusionResult"]
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Row-normalized confusion matrix (rows: true labels).
+
+    Matches the paper's presentation: entry (i, j) is the fraction of
+    class-i samples predicted as class j; each row sums to 1 (or is all
+    zeros if the class never occurs).
+    """
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    counts = np.zeros((n_classes, n_classes))
+    np.add.at(counts, (y_true, y_pred), 1.0)
+    row_sums = counts.sum(axis=1, keepdims=True)
+    return np.divide(counts, row_sums, out=np.zeros_like(counts), where=row_sums > 0)
+
+
+@dataclass(frozen=True)
+class ConfusionResult:
+    """A classification outcome with the paper's summary statistics."""
+
+    matrix: np.ndarray
+    class_names: tuple[str, ...]
+
+    @property
+    def n_classes(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def average_accuracy(self) -> float:
+        """Mean of the diagonal — the paper's 'average accuracy'."""
+        return float(np.mean(np.diag(self.matrix)))
+
+    @property
+    def chance_accuracy(self) -> float:
+        return 1.0 / self.n_classes
+
+    def formatted(self, decimals: int = 2) -> str:
+        """Render the matrix like the paper's figures."""
+        header = "true\\pred " + " ".join(f"{j:>5d}" for j in range(self.n_classes))
+        lines = [header]
+        for i in range(self.n_classes):
+            row = " ".join(f"{self.matrix[i, j]:5.{decimals}f}" for j in range(self.n_classes))
+            lines.append(f"{i:>9d} {row}")
+        lines.append(
+            f"average accuracy: {self.average_accuracy:.0%} "
+            f"(chance {self.chance_accuracy:.0%})"
+        )
+        return "\n".join(lines)

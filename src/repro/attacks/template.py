@@ -1,0 +1,89 @@
+"""Classical template attack (the statistical attacker of Section III).
+
+The threat model covers attackers using "machine learning, signal
+processing, and statistics".  Alongside the MLP, this module provides the
+textbook statistical classifier: Gaussian templates.  For each class the
+attacker estimates a mean vector and a (regularized, diagonal-loaded)
+covariance over trace features; classification is maximum likelihood.
+
+Template attacks are the standard tool of the side-channel literature
+(Chari et al., 2002); they need far less data than an MLP and give the
+defense a second, independent adversary to beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianTemplateClassifier"]
+
+
+class GaussianTemplateClassifier:
+    """Per-class multivariate Gaussian templates with shared shrinkage."""
+
+    def __init__(self, shrinkage: float = 0.2) -> None:
+        """``shrinkage`` blends each class covariance toward a spherical
+        one; 0 trusts the sample covariance, 1 reduces to nearest-mean."""
+        if not 0.0 <= shrinkage <= 1.0:
+            raise ValueError("shrinkage must be in [0, 1]")
+        self.shrinkage = shrinkage
+        self._means: np.ndarray | None = None
+        self._precisions: list[np.ndarray] | None = None
+        self._log_dets: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianTemplateClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.ndim != 2 or x.shape[0] != y.size:
+            raise ValueError("x must be (n, d) aligned with y")
+        self.classes_ = np.unique(y)
+        dim = x.shape[1]
+        means = []
+        precisions = []
+        log_dets = []
+        for label in self.classes_:
+            rows = x[y == label]
+            if rows.shape[0] < 2:
+                raise ValueError(f"class {label} needs at least two samples")
+            mean = rows.mean(axis=0)
+            cov = np.cov(rows, rowvar=False)
+            cov = np.atleast_2d(cov)
+            # Shrink toward the spherical covariance and load the diagonal
+            # so templates stay invertible with few traces (standard
+            # practice in template attacks).
+            spherical = np.eye(dim) * max(np.trace(cov) / dim, 1e-9)
+            cov = (1 - self.shrinkage) * cov + self.shrinkage * spherical
+            cov += 1e-6 * np.eye(dim)
+            sign, log_det = np.linalg.slogdet(cov)
+            if sign <= 0:
+                raise np.linalg.LinAlgError("covariance not positive definite")
+            means.append(mean)
+            precisions.append(np.linalg.inv(cov))
+            log_dets.append(log_det)
+        self._means = np.asarray(means)
+        self._precisions = precisions
+        self._log_dets = np.asarray(log_dets)
+        return self
+
+    def log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        """Per-class log likelihood, shape (n, n_classes)."""
+        if self._means is None:
+            raise RuntimeError("fit() must be called first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        scores = np.empty((x.shape[0], self._means.shape[0]))
+        for index, (mean, precision, log_det) in enumerate(
+            zip(self._means, self._precisions, self._log_dets)
+        ):
+            centered = x - mean
+            mahalanobis = np.einsum("ni,ij,nj->n", centered, precision, centered)
+            scores[:, index] = -0.5 * (mahalanobis + log_det)
+        return scores
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        scores = self.log_likelihood(x)  # raises RuntimeError when unfit
+        assert self.classes_ is not None
+        return self.classes_[scores.argmax(axis=1)]
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y, dtype=int)))

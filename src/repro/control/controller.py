@@ -1,0 +1,138 @@
+"""Runtime of the formal controller (the state machine of Equation 1).
+
+:class:`MatrixController` is what Maya executes every 20 ms: read the power
+deviation, update the controller state, emit actuator settings.  It wraps
+the synthesized LQG servo with the practical details a deployment needs:
+
+* commands are computed in normalized coordinates, then de-normalized and
+  quantized to the actuators' discrete levels;
+* the state estimator is updated with the *applied* (quantized, saturated)
+  input, not the raw command, which is the standard anti-windup structure;
+* the error integrator freezes while every input is pinned at the limit
+  that would push power further in the demanded direction (conditional
+  integration), so deep saturation cannot wind the state up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine import ActuatorBank, ActuatorSettings
+from .statespace import StateSpace
+from .synthesis import DesignedController
+
+__all__ = ["MatrixController"]
+
+
+class MatrixController:
+    """Deployable controller instance for one machine."""
+
+    #: Default command center: maximum frequency, no idle injection, a low
+    #: balloon duty.  The LQR cost penalizes deviations of the command from
+    #: this point, so among the many input combinations that reach a power
+    #: target the controller prefers the application-friendliest one —
+    #: without this, it parks at the system-identification operating point
+    #: and burns balloon power against idle injection.
+    DEFAULT_COMMAND_CENTER = (1.0, 0.0, 0.3)
+
+    def __init__(
+        self,
+        design: DesignedController,
+        bank: ActuatorBank,
+        command_center: tuple[float, float, float] | None = None,
+    ) -> None:
+        self.design = design
+        self.bank = bank
+        plant = design.plant
+        self._u_op = plant.u_op
+        self._u_center = np.asarray(
+            command_center if command_center is not None else self.DEFAULT_COMMAND_CENTER,
+            dtype=float,
+        )
+        self._y_scale = plant.y_scale_w
+        self._input_signs = plant.input_power_signs()
+        self._x_pred = np.zeros(design.plant_ss.n_states)
+        self._z = 0.0
+        #: Centered command applied during the interval being measured.
+        self._u_applied = np.zeros(design.plant_ss.n_inputs)
+
+    @property
+    def interval_s(self) -> float:
+        return self.design.plant.interval_s
+
+    @property
+    def state_vector(self) -> np.ndarray:
+        """The Equation-1 state x(T): estimator states plus integrator."""
+        return np.concatenate([self._x_pred, [self._z]])
+
+    def reset(self) -> None:
+        self._x_pred = np.zeros_like(self._x_pred)
+        self._z = 0.0
+        self._u_applied = np.zeros_like(self._u_applied)
+
+    def step(self, target_w: float, measured_w: float) -> ActuatorSettings:
+        """One control interval: deviation in, settings for the next out.
+
+        Timing: ``measured_w`` is the power of the interval that just
+        ended, during which the command from the *previous* step was
+        active; the returned settings drive the *next* interval aimed at
+        ``target_w``.
+        """
+        design = self.design
+        plant_ss = design.plant_ss
+        error = (target_w - measured_w) / self._y_scale
+
+        # Measurement update.  The estimator tracks the deviation of power
+        # from the target, and the measured interval ran under the
+        # previously applied (saturated, quantized) command — using that
+        # true input is the anti-windup path.
+        y_meas_dev = -error
+        y_pred = float((plant_ss.c @ self._x_pred + plant_ss.d @ self._u_applied)[0])
+        innovation = y_meas_dev - y_pred
+        x_filt = self._x_pred + design.m_gain[:, 0] * innovation
+
+        # Time update to the start of the next interval.
+        self._x_pred = plant_ss.a @ x_filt + plant_ss.b @ self._u_applied
+
+        # Conditional integration: freeze when all inputs are already
+        # pinned at the limit that moves power in the demanded direction.
+        u_prev_norm = self._u_applied + self._u_op
+        if not self._saturated_towards(error, u_prev_norm):
+            self._z += error
+
+        # Command for the next interval.  Feedback acts in deviations; the
+        # command is centered on the performance-preferring point, and the
+        # integrator absorbs the resulting constant offset.
+        u_centered = -(design.k_x @ self._x_pred) - design.k_z[:, 0] * self._z
+        u_norm = u_centered + self._u_center
+        settings = self.bank.quantize_normalized(np.clip(u_norm, 0.0, 1.0))
+        # The estimator's model coordinates stay centered on the
+        # identification operating point.
+        self._u_applied = self.bank.normalize(settings) - self._u_op
+        return settings
+
+    def _saturated_towards(self, error: float, u_norm: np.ndarray) -> bool:
+        """True if every input is railed in the direction demanded by ``error``."""
+        if error == 0.0:
+            return False
+        demand = np.sign(error)  # +1 -> need more power
+        railed = []
+        for i, sign in enumerate(self._input_signs):
+            direction = demand * (sign if sign != 0 else 1.0)
+            if direction > 0:
+                railed.append(u_norm[i] >= 1.0)
+            else:
+                railed.append(u_norm[i] <= 0.0)
+        return all(railed)
+
+    # -- reporting helpers (Section VII-E) ------------------------------
+
+    def equation1_matrices(self) -> StateSpace:
+        """The controller as the constant matrices of Equation 1."""
+        return self.design.as_equation1()
+
+    def storage_bytes(self) -> int:
+        return self.equation1_matrices().storage_bytes()
+
+    def operations_per_step(self) -> int:
+        return self.equation1_matrices().operations_per_step()

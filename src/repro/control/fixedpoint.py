@@ -1,0 +1,108 @@
+"""Fixed-point controller arithmetic (Section VII-E / Table I).
+
+The paper notes the Equation-1 controller "needs ~200 fixed-point
+operations" and "less than 1 KByte of storage" — i.e. a firmware
+implementation stores the (A, B, C, D) matrices in a fixed-point format.
+:class:`FixedPointController` quantizes the synthesized matrices to a Qm.n
+format and evaluates Equation 1 in integer arithmetic, letting tests verify
+that firmware-grade precision preserves the controller's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .statespace import StateSpace
+
+__all__ = ["FixedPointFormat", "FixedPointController"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Qm.n signed fixed point: 1 sign bit, m integer bits, n fraction bits."""
+
+    integer_bits: int = 7
+    fraction_bits: int = 24
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1 or self.fraction_bits < 1:
+            raise ValueError("need at least one integer and one fraction bit")
+        if self.total_bits > 63:
+            raise ValueError("format exceeds 64-bit words")
+
+    @property
+    def total_bits(self) -> int:
+        return 1 + self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        return (1 << self.integer_bits) - 2.0**-self.fraction_bits
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round to the nearest representable value (as int64 raw words)."""
+        values = np.clip(np.asarray(values, dtype=float), -self.max_value, self.max_value)
+        return np.round(values * self.scale).astype(np.int64)
+
+    def to_float(self, raw: np.ndarray) -> np.ndarray:
+        return np.asarray(raw, dtype=np.int64) / self.scale
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Fixed-point matrix multiply with post-scaling (truncation)."""
+        wide = a.astype(np.int64) @ b.astype(np.int64)
+        return wide >> self.fraction_bits
+
+
+class FixedPointController:
+    """Equation 1 evaluated entirely in fixed-point integer arithmetic.
+
+    This mirrors what a firmware/hardware deployment executes: the state
+    vector and matrices are raw integer words; each step is two quantized
+    matrix-vector products.
+    """
+
+    def __init__(self, matrices: StateSpace, fmt: FixedPointFormat | None = None) -> None:
+        self.fmt = fmt or FixedPointFormat()
+        self.float_matrices = matrices
+        self._a = self.fmt.quantize(matrices.a)
+        self._b = self.fmt.quantize(matrices.b)
+        self._c = self.fmt.quantize(matrices.c)
+        self._d = self.fmt.quantize(matrices.d)
+        self._x = np.zeros(matrices.n_states, dtype=np.int64)
+
+    @property
+    def n_states(self) -> int:
+        return self._x.size
+
+    def reset(self) -> None:
+        self._x = np.zeros_like(self._x)
+
+    def step(self, error: float) -> np.ndarray:
+        """One Equation-1 evaluation; returns the command vector (floats)."""
+        e_raw = self.fmt.quantize(np.array([error]))
+        u_raw = self.fmt.multiply(self._c, self._x) + self.fmt.multiply(self._d, e_raw)
+        self._x = self.fmt.multiply(self._a, self._x) + self.fmt.multiply(self._b, e_raw)
+        return self.fmt.to_float(u_raw)
+
+    def storage_bytes(self) -> int:
+        """Matrix + state storage at the word size the format needs."""
+        word_bytes = 4 if self.fmt.total_bits <= 32 else 8
+        n_words = self._a.size + self._b.size + self._c.size + self._d.size + self._x.size
+        return n_words * word_bytes
+
+    def max_quantization_error(self) -> float:
+        """Worst matrix-entry rounding error introduced by the format."""
+        errs = []
+        for raw, exact in (
+            (self._a, self.float_matrices.a),
+            (self._b, self.float_matrices.b),
+            (self._c, self.float_matrices.c),
+            (self._d, self.float_matrices.d),
+        ):
+            errs.append(np.max(np.abs(self.fmt.to_float(raw) - exact)))
+        return float(max(errs))

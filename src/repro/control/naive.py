@@ -1,0 +1,55 @@
+"""The naive feedback scheme of Section IV-B (Figure 3).
+
+"One way to mislead the attacker is to keep power at a constant level P: we
+can measure the difference between P and the actual power p_i at each
+timestep, and schedule a combination of balloon threads and idle level based
+on P - p_i."
+
+The scheme is *stateless*: every step it maps the latest deviation directly
+to balloon/idle levels using nominal (datasheet) watt-per-level gains — it
+has no accumulated state, no model of how the application's own power
+evolves, and no knowledge that the balloon's real authority shrinks when
+the application occupies the cores.  As the paper shows, it therefore
+always lags the application and the output retains the original trace's
+features; the formal controller's state ("accumulated experience") is what
+removes that gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine import ActuatorBank, ActuatorSettings
+
+__all__ = ["NaiveTracker"]
+
+
+class NaiveTracker:
+    """Stateless proportional power matcher (the paper's strawman)."""
+
+    def __init__(self, bank: ActuatorBank, max_balloon_w: float, max_idle_w: float) -> None:
+        """``max_balloon_w``/``max_idle_w`` are the *nominal* watt swings of
+        the two knobs; the naive defender trusts them unconditionally."""
+        if max_balloon_w <= 0 or max_idle_w <= 0:
+            raise ValueError("nominal gains must be positive")
+        self.bank = bank
+        self.max_balloon_w = max_balloon_w
+        self.max_idle_w = max_idle_w
+
+    def reset(self) -> None:
+        """Stateless: nothing to reset (kept for interface symmetry)."""
+
+    def step(self, target_w: float, measured_w: float) -> ActuatorSettings:
+        """Map the latest deviation directly to levels (no accumulation)."""
+        error_w = target_w - measured_w
+        if error_w >= 0.0:
+            balloon = error_w / self.max_balloon_w
+            idle = 0.0
+        else:
+            balloon = 0.0
+            idle = -error_w / self.max_idle_w
+        return self.bank.quantize(
+            freq_ghz=self.bank.dvfs.max_level,
+            idle_frac=float(np.clip(idle, 0.0, self.bank.idle.max_level)),
+            balloon_level=float(np.clip(balloon, 0.0, 1.0)),
+        )

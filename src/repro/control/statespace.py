@@ -1,0 +1,118 @@
+"""Discrete-time linear state-space models.
+
+The controller the paper deploys is exactly such a model (Equation 1):
+
+    x(T+1) = A x(T) + B e(T)
+    u(T)   = C x(T) + D e(T)
+
+and the plant model obtained from system identification is converted into
+the same form for synthesis.  This module provides the shared container with
+simulation and stability utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StateSpace"]
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """A discrete-time LTI system ``(A, B, C, D)``."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = np.atleast_2d(np.asarray(self.a, dtype=float))
+        b = np.atleast_2d(np.asarray(self.b, dtype=float))
+        c = np.atleast_2d(np.asarray(self.c, dtype=float))
+        d = np.atleast_2d(np.asarray(self.d, dtype=float))
+        n = a.shape[0]
+        if a.shape != (n, n):
+            raise ValueError(f"A must be square, got {a.shape}")
+        if b.shape[0] != n:
+            raise ValueError(f"B must have {n} rows, got {b.shape}")
+        if c.shape[1] != n:
+            raise ValueError(f"C must have {n} columns, got {c.shape}")
+        if d.shape != (c.shape[0], b.shape[1]):
+            raise ValueError(
+                f"D must be {(c.shape[0], b.shape[1])}, got {d.shape}"
+            )
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "d", d)
+
+    @property
+    def n_states(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.c.shape[0]
+
+    def spectral_radius(self) -> float:
+        """Largest eigenvalue magnitude of A."""
+        return float(np.max(np.abs(np.linalg.eigvals(self.a))))
+
+    def is_stable(self, tolerance: float = 1e-9) -> bool:
+        """True iff every eigenvalue of A lies strictly inside the unit disk."""
+        return self.spectral_radius() < 1.0 - tolerance
+
+    def step(self, state: np.ndarray, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One simulation step; returns ``(next_state, outputs)``."""
+        state = np.asarray(state, dtype=float).reshape(self.n_states)
+        inputs = np.asarray(inputs, dtype=float).reshape(self.n_inputs)
+        outputs = self.c @ state + self.d @ inputs
+        next_state = self.a @ state + self.b @ inputs
+        return next_state, outputs
+
+    def simulate(
+        self, inputs: np.ndarray, initial_state: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Simulate over an input sequence of shape (T, n_inputs).
+
+        Returns the output sequence of shape (T, n_outputs).
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input columns, got {inputs.shape[1]}"
+            )
+        state = (
+            np.zeros(self.n_states)
+            if initial_state is None
+            else np.asarray(initial_state, dtype=float).reshape(self.n_states)
+        )
+        outputs = np.empty((inputs.shape[0], self.n_outputs))
+        for t in range(inputs.shape[0]):
+            state, outputs[t] = self.step(state, inputs[t])
+        return outputs
+
+    def dc_gain(self) -> np.ndarray:
+        """Steady-state gain matrix ``C (I - A)^-1 B + D`` (stable systems)."""
+        eye = np.eye(self.n_states)
+        return self.c @ np.linalg.solve(eye - self.a, self.b) + self.d
+
+    def storage_bytes(self, element_bytes: int = 4) -> int:
+        """Storage footprint of the matrices plus the state vector.
+
+        The paper reports the 11-state controller fits in under 1 KB of
+        fixed-point storage (Section VII-E); this mirrors that accounting.
+        """
+        n_elements = self.a.size + self.b.size + self.c.size + self.d.size + self.n_states
+        return n_elements * element_bytes
+
+    def operations_per_step(self) -> int:
+        """Multiply-accumulate count of one Equation-1 evaluation."""
+        return 2 * (self.a.size + self.b.size + self.c.size + self.d.size)

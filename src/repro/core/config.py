@@ -1,0 +1,75 @@
+"""Configuration of the Maya defense (Figure 2 / Table I InScope)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..control.synthesis import SynthesisSpec
+from ..machine import PlatformSpec, PowerModel
+
+__all__ = ["MayaConfig", "default_mask_range"]
+
+
+def default_mask_range(spec: PlatformSpec) -> tuple[float, float]:
+    """The power band mask targets are drawn from.
+
+    The band must be (a) below TDP (Section V-B) and (b) reachable by the
+    actuators regardless of what the application is doing, or the controller
+    would saturate and leak at the band edges:
+
+    * the upper edge is what the balloon can sustain with no application
+      help, capped just below TDP;
+    * the lower edge sits above the power of the *hottest* application
+      throttled to minimum frequency and maximum idle injection, so even a
+      fully loaded machine can be brought down to any mask value.
+    """
+    import numpy as np
+
+    model = PowerModel(spec, np.random.default_rng(0))
+    ceiling_no_app = model.static_power(spec.freq_max_ghz) + 0.92 * spec.max_balloon_dynamic_w
+    high = min(ceiling_no_app, 0.97 * spec.tdp_w)
+    worst_app_floor = model.min_achievable_power() + (
+        0.85 * spec.max_app_dynamic_w
+        * model.dvfs_scale(spec.freq_min_ghz)
+        * model.idle_scale(spec.idle_max)
+    )
+    low = worst_app_floor + 0.02 * (high - worst_app_floor)
+    return (low, high)
+
+
+@dataclass(frozen=True)
+class MayaConfig:
+    """Everything needed to instantiate Maya on one platform.
+
+    The defaults reproduce the paper's InScope deployment: 20 ms control
+    interval (RAPL's reliable update rate), a gaussian-sinusoid mask, and
+    the Section V-A synthesis parameters (input weights 1, 40% guardband).
+    """
+
+    mask_family: str = "gaussian_sinusoid"
+    interval_s: float = 0.020
+    synthesis: SynthesisSpec = field(default_factory=SynthesisSpec)
+    #: Mask power band; ``None`` derives :func:`default_mask_range`.
+    mask_range_w: tuple[float, float] | None = None
+    #: Constant-mask level (only used by the ``constant`` family).
+    constant_level_w: float | None = None
+    #: System-identification excitation length per training app.
+    sysid_intervals: int = 600
+    #: ARX orders; (4, 3) yields the paper's 11-element controller state.
+    arx_na: int = 4
+    arx_nb: int = 3
+    #: Normalized command the controller prefers when many input
+    #: combinations reach the target: max DVFS, no idle, a low balloon
+    #: duty (application-friendliest allocation).
+    command_center: tuple[float, float, float] = (1.0, 0.0, 0.3)
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.sysid_intervals < 100:
+            raise ValueError("sysid needs at least 100 intervals per app")
+
+    def resolve_mask_range(self, spec: PlatformSpec) -> tuple[float, float]:
+        if self.mask_range_w is not None:
+            return self.mask_range_w
+        return default_mask_range(spec)

@@ -1,0 +1,122 @@
+"""The control-loop session runner.
+
+This is the outer loop of Figure 2: every interval the machine runs with the
+current actuator settings, the sensor reports the window's power, and the
+defense decides the settings for the next interval.  The loop produces a
+:class:`~repro.machine.trace.Trace` that every experiment consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..defenses.base import Defense
+from ..machine import RaplSensor, SimulatedMachine, Trace, spawn
+from ..workloads.phases import PhaseProgram
+
+__all__ = ["run_session", "make_machine"]
+
+
+def make_machine(
+    spec,
+    workload: PhaseProgram,
+    seed: int,
+    run_id: object,
+    tick_s: float = 0.001,
+    record_temperature: bool = False,
+    workload_jitter: float = 0.08,
+) -> SimulatedMachine:
+    """Convenience constructor with the reproduction's seeding scheme."""
+    return SimulatedMachine(
+        spec,
+        workload,
+        seed=seed,
+        run_id=run_id,
+        tick_s=tick_s,
+        record_temperature=record_temperature,
+        workload_jitter=workload_jitter,
+    )
+
+
+def run_session(
+    machine: SimulatedMachine,
+    defense: Defense,
+    seed: int = 0,
+    run_id: object = 0,
+    interval_s: float = 0.020,
+    duration_s: float | None = None,
+    max_duration_s: float = 600.0,
+    tail_s: float = 2.0,
+) -> Trace:
+    """Execute one workload run under a defense and record the trace.
+
+    * With ``duration_s`` set, the session runs for exactly that long — the
+      workload may finish early (the machine then sits idle apart from the
+      defense's own activity) or be cut off, as when an attacker records a
+      fixed-length window.
+    * With ``duration_s=None``, the session runs until the workload
+      completes (plus ``tail_s`` of cool-down), capped at
+      ``max_duration_s`` — the mode used to measure execution time.
+    """
+    spec = machine.spec
+    defense_rng = spawn(seed, "defense", defense.name, machine.workload.name, run_id)
+    defense.prepare(machine, defense_rng)
+    sensor = RaplSensor(
+        spec, spawn(seed, "defense-sensor", machine.workload.name, run_id)
+    )
+
+    if duration_s is not None:
+        n_intervals = int(round(duration_s / interval_s))
+        if n_intervals < 1:
+            raise ValueError("duration_s shorter than one interval")
+    else:
+        n_intervals = None
+
+    power_chunks: list[np.ndarray] = []
+    temp_chunks: list[np.ndarray] = []
+    measured: list[float] = []
+    targets: list[float] = []
+    settings_log: list[np.ndarray] = []
+
+    settings = defense.initial_settings()
+    interval_index = 0
+    max_intervals = int(round(max_duration_s / interval_s))
+    completion_deadline: int | None = None
+
+    while True:
+        if n_intervals is not None and interval_index >= n_intervals:
+            break
+        if interval_index >= max_intervals:
+            break
+        if n_intervals is None:
+            if machine.completed and completion_deadline is None:
+                completion_deadline = interval_index + int(round(tail_s / interval_s))
+            if completion_deadline is not None and interval_index >= completion_deadline:
+                break
+
+        power, temperature = machine.advance(interval_s, settings)
+        measurement = sensor.measure_window(power, machine.tick_s)
+
+        power_chunks.append(power)
+        if temperature.size:
+            temp_chunks.append(temperature)
+        measured.append(measurement)
+        targets.append(defense.current_target_w)
+        settings_log.append(settings.as_vector())
+
+        settings = defense.decide(measurement)
+        interval_index += 1
+
+    return Trace(
+        workload=machine.workload.name,
+        platform=spec.name,
+        defense=defense.name,
+        tick_s=machine.tick_s,
+        interval_s=interval_s,
+        power_w=np.concatenate(power_chunks),
+        measured_w=np.asarray(measured),
+        target_w=np.asarray(targets),
+        settings=np.asarray(settings_log),
+        completed_at_s=machine.completed_at_s,
+        temperature_c=(np.concatenate(temp_chunks) if temp_chunks else np.empty(0)),
+    )

@@ -1,0 +1,23 @@
+"""The defense designs compared in the paper (Table V)."""
+
+from .base import Defense
+from .selective import SelectiveMaya
+from .designs import (
+    DESIGN_NAMES,
+    Baseline,
+    DefenseFactory,
+    MayaDefense,
+    NoisyBaseline,
+    RandomInputs,
+)
+
+__all__ = [
+    "Defense",
+    "DESIGN_NAMES",
+    "Baseline",
+    "DefenseFactory",
+    "MayaDefense",
+    "NoisyBaseline",
+    "RandomInputs",
+    "SelectiveMaya",
+]

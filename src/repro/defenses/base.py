@@ -1,0 +1,40 @@
+"""Common interface of the five designs compared in Table V.
+
+A :class:`Defense` instance lives for exactly one execution (one trace).
+The session loop (:mod:`repro.core.runtime`) calls :meth:`initial_settings`
+once and then :meth:`decide` after each control interval with the power it
+just measured.  ``current_target_w`` exposes the mask value so traces can
+log it (NaN for designs with no target).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..machine import ActuatorSettings, SimulatedMachine
+
+__all__ = ["Defense"]
+
+
+class Defense(abc.ABC):
+    """Per-run defense instance."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.current_target_w = float("nan")
+
+    @abc.abstractmethod
+    def prepare(self, machine: SimulatedMachine, rng: np.random.Generator) -> None:
+        """Bind this instance to a machine and its per-run randomness."""
+
+    @abc.abstractmethod
+    def initial_settings(self) -> ActuatorSettings:
+        """Settings applied during the first control interval."""
+
+    @abc.abstractmethod
+    def decide(self, measured_w: float) -> ActuatorSettings:
+        """Settings for the next interval, given the last measurement."""

@@ -1,0 +1,80 @@
+"""Selective activation of Maya (Section V / Section VII-E).
+
+The paper proposes reducing Maya's overhead by activating it "only in
+sections of the application where it is needed, similar to how power
+governors can be invoked in Linux".  :class:`SelectiveMaya` implements
+that: outside the protected window the machine runs at full performance;
+inside it, the full Maya loop (fresh controller state and mask stream)
+takes over.
+
+The security/overhead trade is exactly as expected: activity outside the
+window is exposed, activity inside is obfuscated, and the slowdown scales
+with the protected fraction of the execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.maya import MayaDesign, MayaInstance
+from ..machine import ActuatorSettings, SimulatedMachine
+from .base import Defense
+
+__all__ = ["SelectiveMaya"]
+
+
+class SelectiveMaya(Defense):
+    """Maya that is only active during ``[start_s, stop_s)``."""
+
+    name = "maya_selective"
+
+    def __init__(self, design: MayaDesign, start_s: float, stop_s: float,
+                 interval_s: float = 0.020) -> None:
+        if not 0.0 <= start_s < stop_s:
+            raise ValueError("need 0 <= start_s < stop_s")
+        super().__init__()
+        self.design = design
+        self.start_s = start_s
+        self.stop_s = stop_s
+        self.interval_s = interval_s
+        self._instance: MayaInstance | None = None
+        self._elapsed_intervals = 0
+
+    def prepare(self, machine: SimulatedMachine, rng: np.random.Generator) -> None:
+        if machine.spec.name != self.design.spec.name:
+            raise ValueError(
+                f"design built for {self.design.spec.name}, machine is {machine.spec.name}"
+            )
+        self._machine = machine
+        self._instance = self.design.instantiate(rng)
+        self._elapsed_intervals = 0
+        self._was_active = False
+
+    @property
+    def _now_s(self) -> float:
+        return self._elapsed_intervals * self.interval_s
+
+    def _active(self) -> bool:
+        return self.start_s <= self._now_s < self.stop_s
+
+    def initial_settings(self) -> ActuatorSettings:
+        assert self._instance is not None, "prepare() must be called first"
+        if self._active():
+            return self._instance.initial_settings()
+        return self._machine.bank.max_performance()
+
+    def decide(self, measured_w: float) -> ActuatorSettings:
+        assert self._instance is not None, "prepare() must be called first"
+        self._elapsed_intervals += 1
+        if not self._active():
+            self.current_target_w = float("nan")
+            self._was_active = False
+            return self._machine.bank.max_performance()
+        if not self._was_active:
+            # (Re-)entering the protected window: fresh controller state,
+            # so stale estimates from minutes ago cannot misfire.
+            self._instance.controller.reset()
+            self._was_active = True
+        settings = self._instance.decide(measured_w)
+        self.current_target_w = self._instance.current_target_w
+        return settings

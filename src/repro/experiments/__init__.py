@@ -1,0 +1,42 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., seed=...)`` returning a typed result
+with a ``table()`` renderer that prints the rows the paper reports.  See
+DESIGN.md section 4 for the experiment-to-module index.
+"""
+
+from . import (
+    fig03_naive_control,
+    fig04_tab02_masks,
+    fig06_app_detection,
+    fig07_summary_stats,
+    fig08_video_detection,
+    fig09_webpage_detection,
+    fig10_average_traces,
+    fig11_changepoints,
+    fig12_sampling_rate,
+    fig13_tracking,
+    fig14_overheads,
+    fig15_platypus,
+    sec7e_controller_cost,
+)
+from .config import SCALES, ExperimentScale, get_scale
+
+EXPERIMENTS = {
+    "fig03": fig03_naive_control,
+    "fig04": fig04_tab02_masks,
+    "tab02": fig04_tab02_masks,
+    "fig06": fig06_app_detection,
+    "fig07": fig07_summary_stats,
+    "fig08": fig08_video_detection,
+    "fig09": fig09_webpage_detection,
+    "fig10": fig10_average_traces,
+    "fig11": fig11_changepoints,
+    "fig12": fig12_sampling_rate,
+    "fig13": fig13_tracking,
+    "fig14": fig14_overheads,
+    "fig15": fig15_platypus,
+    "sec7e": sec7e_controller_cost,
+}
+
+__all__ = ["EXPERIMENTS", "SCALES", "ExperimentScale", "get_scale"]

@@ -1,0 +1,119 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..attacks.mlp import MLPConfig
+from ..attacks.pipeline import AttackScenario
+from ..core.runtime import make_machine, run_session
+from ..defenses.designs import DefenseFactory
+from ..machine import PlatformSpec, RaplSensor, Trace, spawn
+from ..workloads import PARSEC_APPS, get_workload
+from .config import ExperimentScale
+
+__all__ = [
+    "experiment_apps",
+    "make_factory",
+    "attack_scenario",
+    "record_traces",
+    "sample_rapl",
+]
+
+
+def experiment_apps(scale: ExperimentScale) -> tuple[str, ...]:
+    """The applications used at this scale, spread across the power range.
+
+    At reduced scales we keep label diversity by picking applications
+    spread over the paper's power ordering rather than the first few
+    labels (which happen to be similar).
+    """
+    if scale.n_apps >= len(PARSEC_APPS):
+        return PARSEC_APPS
+    spread_order = (
+        "volrend", "water_nsquared", "canneal", "raytrace", "bodytrack",
+        "vips", "streamcluster", "blackscholes", "freqmine",
+        "water_spatial", "radiosity",
+    )
+    chosen = spread_order[: scale.n_apps]
+    # Preserve the paper's label order among the chosen apps.
+    return tuple(app for app in PARSEC_APPS if app in chosen)
+
+
+def make_factory(spec: PlatformSpec, scale: ExperimentScale, seed: int = 0) -> DefenseFactory:
+    """A defense factory whose Maya designs use the scale's sysid budget."""
+    factory = DefenseFactory(spec, seed=seed)
+
+    original = factory.maya_design
+
+    def maya_design(mask_family: str, **overrides: object):
+        overrides.setdefault("sysid_intervals", scale.sysid_intervals)
+        return original(mask_family, **overrides)
+
+    factory.maya_design = maya_design  # type: ignore[method-assign]
+    return factory
+
+
+def attack_scenario(
+    name: str,
+    spec: PlatformSpec,
+    class_workloads: tuple[str, ...],
+    defense: str,
+    scale: ExperimentScale,
+    seed: int = 0,
+    **overrides: object,
+) -> AttackScenario:
+    """Build an :class:`AttackScenario` from the scale's defaults."""
+    params: dict = dict(
+        name=name,
+        spec=spec,
+        class_workloads=class_workloads,
+        defense=defense,
+        runs_per_class=scale.runs_per_class,
+        duration_s=scale.duration_s,
+        segment_duration_s=scale.segment_duration_s,
+        segment_stride_s=scale.segment_stride_s,
+        mlp=MLPConfig(hidden_sizes=scale.mlp_hidden, max_epochs=scale.mlp_epochs),
+        seed=seed,
+    )
+    params.update(overrides)
+    return AttackScenario(**params)
+
+
+def record_traces(
+    spec: PlatformSpec,
+    workload_name: str,
+    factory: DefenseFactory,
+    defense: str,
+    n_runs: int,
+    duration_s: float | None,
+    seed: int = 0,
+    tag: str = "traces",
+) -> list[Trace]:
+    """Record ``n_runs`` executions of one workload under one defense."""
+    traces = []
+    for run in range(n_runs):
+        run_id = (tag, defense, workload_name, run)
+        machine = make_machine(spec, get_workload(workload_name), seed=seed, run_id=run_id)
+        trace = run_session(
+            machine,
+            factory.create(defense),
+            seed=seed,
+            run_id=run_id,
+            duration_s=duration_s,
+        )
+        traces.append(trace)
+    return traces
+
+
+def sample_rapl(
+    trace: Trace, seed: int, run_id: object, interval_s: float = 0.020
+) -> np.ndarray:
+    """Attacker's RAPL view of a recorded trace."""
+    spec_rng = spawn(seed, "fig-sensor", trace.workload, trace.defense, run_id)
+    from ..machine import get_platform
+
+    sensor = RaplSensor(get_platform(trace.platform), spec_rng)
+    return sensor.sample_trace(trace.power_w, trace.tick_s, interval_s)

@@ -1,0 +1,85 @@
+"""Section VII-E: Maya's own runtime cost.
+
+The paper reports that one controller evaluation needs about 200 fixed-point
+operations completing within a microsecond, the controller state fits in
+under 1 KB, and generating a mask value costs about a microsecond of RNG
+work.  This experiment measures our implementation's actual numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.maya import MayaDesign
+from ..defenses.designs import DefenseFactory
+from ..machine import SYS1, PlatformSpec, spawn
+from .common import make_factory
+from .config import ExperimentScale, get_scale
+
+__all__ = ["Sec7eResult", "run"]
+
+
+@dataclass(frozen=True)
+class Sec7eResult:
+    controller_states: int
+    operations_per_step: int
+    storage_bytes: int
+    controller_step_us: float
+    mask_sample_us: float
+
+    def table(self) -> str:
+        return "\n".join(
+            [
+                f"controller state elements : {self.controller_states} (paper: 11)",
+                f"ops per Equation-1 step   : {self.operations_per_step} (paper: ~200)",
+                f"controller storage        : {self.storage_bytes} B (paper: < 1 KB)",
+                f"controller step latency   : {self.controller_step_us:.2f} us (paper: < 1 us fixed-point)",
+                f"mask sample latency       : {self.mask_sample_us:.2f} us (paper: ~1 us worst case)",
+            ]
+        )
+
+
+def run(
+    scale: "str | ExperimentScale" = "default",
+    seed: int = 0,
+    spec: PlatformSpec = SYS1,
+    factory: DefenseFactory | None = None,
+    timing_iterations: int = 20000,
+) -> Sec7eResult:
+    scale = get_scale(scale)
+    if factory is None:
+        factory = make_factory(spec, scale, seed=seed)
+    design: MayaDesign = factory.maya_design("gaussian_sinusoid")
+    instance = design.instantiate(spawn(seed, "sec7e"))
+    controller = instance.controller
+    matrices = controller.equation1_matrices()
+
+    # Warm up, then time the runtime controller step.
+    rng = np.random.default_rng(seed)
+    targets = rng.uniform(*design.mask_range_w, size=timing_iterations)
+    measured = rng.uniform(*design.mask_range_w, size=timing_iterations)
+    for i in range(200):
+        controller.step(float(targets[i]), float(measured[i]))
+    start = time.perf_counter()
+    for i in range(timing_iterations):
+        controller.step(float(targets[i]), float(measured[i]))
+    step_us = (time.perf_counter() - start) / timing_iterations * 1e6
+
+    mask = instance.mask
+    for _ in range(200):
+        mask.next_target()
+    start = time.perf_counter()
+    for _ in range(timing_iterations):
+        mask.next_target()
+    mask_us = (time.perf_counter() - start) / timing_iterations * 1e6
+
+    return Sec7eResult(
+        controller_states=matrices.n_states,
+        operations_per_step=matrices.operations_per_step(),
+        storage_bytes=matrices.storage_bytes(),
+        controller_step_us=step_us,
+        mask_sample_us=mask_us,
+    )

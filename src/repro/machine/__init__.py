@@ -1,0 +1,46 @@
+"""Simulated computer substrate: platforms, power, actuators, sensors.
+
+This package replaces the physical Sys1/Sys2/Sys3 machines of the paper
+(Table III) with a calibrated discrete-time simulation.  See DESIGN.md for
+the substitution rationale.
+"""
+
+from .actuators import (
+    ActuatorBank,
+    ActuatorSettings,
+    BalloonTask,
+    DvfsActuator,
+    IdleInjector,
+    QuantizedActuator,
+)
+from .machine import SimulatedMachine
+from .platform import PLATFORMS, SYS1, SYS2, SYS3, PlatformSpec, get_platform
+from .power import PowerBreakdown, PowerModel
+from .rng import spawn
+from .sensors import OutletMeter, RaplSensor, window_means
+from .thermal import ThermalModel
+from .trace import Trace
+
+__all__ = [
+    "ActuatorBank",
+    "ActuatorSettings",
+    "BalloonTask",
+    "DvfsActuator",
+    "IdleInjector",
+    "QuantizedActuator",
+    "SimulatedMachine",
+    "PLATFORMS",
+    "SYS1",
+    "SYS2",
+    "SYS3",
+    "PlatformSpec",
+    "get_platform",
+    "PowerBreakdown",
+    "PowerModel",
+    "spawn",
+    "OutletMeter",
+    "RaplSensor",
+    "window_means",
+    "ThermalModel",
+    "Trace",
+]

@@ -1,0 +1,156 @@
+"""The simulated machine: executes a workload under actuator settings.
+
+:class:`SimulatedMachine` advances a :class:`~repro.workloads.phases.PhaseProgram`
+in wall-clock ticks (default 1 ms).  During an advance the actuator settings
+are constant, so the power of each phase segment is computed vectorized.
+The machine tracks application *work*, not time: actuation that slows the
+machine stretches execution, which is where the paper's performance
+overheads come from.
+
+The machine itself knows nothing about defenses, masks or attackers — the
+control loop lives in :mod:`repro.core.runtime`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.phases import PhaseProgram
+from .actuators import ActuatorBank, ActuatorSettings
+from .platform import PlatformSpec
+from .power import PowerModel
+from .thermal import ThermalModel
+from . import rng as rng_mod
+
+__all__ = ["SimulatedMachine"]
+
+
+class SimulatedMachine:
+    """Discrete-time simulation of one platform running one workload."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        workload: PhaseProgram,
+        seed: int = 0,
+        run_id: object = 0,
+        tick_s: float = 0.001,
+        record_temperature: bool = False,
+        workload_jitter: float = 0.08,
+    ) -> None:
+        if tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        self.spec = spec
+        if workload_jitter > 0:
+            # Run-to-run variation: no two executions of the same program
+            # are identical (timing, loop rates, activity all drift a few
+            # percent), exactly as on a real machine.
+            workload = workload.jittered(
+                rng_mod.spawn(seed, "workload-jitter", workload.name, run_id),
+                workload_jitter,
+            )
+        self.workload = workload
+        self.tick_s = tick_s
+        self.bank = ActuatorBank(spec)
+        self.power_model = PowerModel(
+            spec, rng_mod.spawn(seed, "power", spec.name, workload.name, run_id)
+        )
+        self.thermal = ThermalModel() if record_temperature else None
+        self.record_temperature = record_temperature
+
+        self.time_s = 0.0
+        self.work_done = 0.0
+        self._phase_index = 0
+        self._work_into_phase = 0.0
+        self.completed_at_s = float("nan")
+
+    @property
+    def completed(self) -> bool:
+        return self._phase_index >= len(self.workload.phases)
+
+    def reset(self) -> None:
+        """Rewind the workload without re-seeding the noise streams."""
+        self.time_s = 0.0
+        self.work_done = 0.0
+        self._phase_index = 0
+        self._work_into_phase = 0.0
+        self.completed_at_s = float("nan")
+        if self.thermal is not None:
+            self.thermal.reset()
+
+    def advance(
+        self, duration_s: float, settings: ActuatorSettings
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the machine for ``duration_s`` with constant settings.
+
+        Returns ``(power_w, temperature_c)`` per tick; the temperature array
+        is empty unless the machine records temperature.
+        """
+        n_ticks = int(round(duration_s / self.tick_s))
+        if n_ticks <= 0:
+            raise ValueError("duration shorter than one tick")
+        freq_fraction = settings.freq_ghz / self.spec.freq_max_ghz
+
+        power_chunks: list[np.ndarray] = []
+        ticks_left = n_ticks
+        while ticks_left > 0:
+            if self.completed:
+                # Application finished: only static power, noise, and any
+                # balloon the defense keeps running.
+                activity = np.zeros(ticks_left)
+                power_chunks.append(
+                    self.power_model.window_power(
+                        activity,
+                        core_fraction=0.0,
+                        freq_ghz=settings.freq_ghz,
+                        idle_frac=settings.idle_frac,
+                        balloon_level=settings.balloon_level,
+                    )
+                )
+                self.time_s += ticks_left * self.tick_s
+                ticks_left = 0
+                break
+
+            phase = self.workload.phases[self._phase_index]
+            rate = phase.progress_rate(
+                freq_fraction, settings.idle_frac, settings.balloon_level
+            )
+            work_per_tick = rate * self.tick_s
+            work_remaining = phase.work_units - self._work_into_phase
+            ticks_in_phase = int(np.ceil(work_remaining / work_per_tick - 1e-12))
+            seg_ticks = min(ticks_left, max(ticks_in_phase, 1))
+
+            # Work-time grid for this segment (loop phases oscillate in
+            # work time so slowdowns stretch their apparent period).
+            work_times = self._work_into_phase + work_per_tick * (
+                np.arange(seg_ticks) + 1.0
+            )
+            activity = phase.activity_at(work_times)
+            power_chunks.append(
+                self.power_model.window_power(
+                    activity,
+                    core_fraction=phase.core_fraction,
+                    freq_ghz=settings.freq_ghz,
+                    idle_frac=settings.idle_frac,
+                    balloon_level=settings.balloon_level,
+                )
+            )
+
+            advanced_work = work_per_tick * seg_ticks
+            self._work_into_phase += advanced_work
+            self.work_done += advanced_work
+            self.time_s += seg_ticks * self.tick_s
+            ticks_left -= seg_ticks
+
+            if self._work_into_phase >= phase.work_units - 1e-9:
+                self._work_into_phase = 0.0
+                self._phase_index += 1
+                if self.completed and not np.isfinite(self.completed_at_s):
+                    self.completed_at_s = self.time_s
+
+        power = np.concatenate(power_chunks) if len(power_chunks) > 1 else power_chunks[0]
+        if self.thermal is not None:
+            temperature = self.thermal.advance(power, self.tick_s)
+        else:
+            temperature = np.empty(0)
+        return power, temperature

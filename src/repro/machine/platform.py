@@ -1,0 +1,153 @@
+"""Platform descriptions for the three machines of the paper (Table III).
+
+A :class:`PlatformSpec` captures everything the rest of the system needs to
+know about a machine: core topology, DVFS range and voltage map, power-model
+coefficients, sensor domain, and thermal-design power.  The paper's Sys1,
+Sys2 and Sys3 are provided as presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["PlatformSpec", "SYS1", "SYS2", "SYS3", "PLATFORMS", "get_platform"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of a simulated machine.
+
+    Power coefficients are chosen so that the simulated power envelope of
+    each preset matches the ranges visible in the paper's figures (e.g.
+    Sys1 cores+caches power spans roughly 5-35 W).
+    """
+
+    name: str
+    physical_cores: int
+    smt: int = 2
+    #: DVFS range (GHz) and step, matching Section V.
+    freq_min_ghz: float = 1.2
+    freq_max_ghz: float = 2.0
+    freq_step_ghz: float = 0.1
+    #: Supply voltage at the DVFS endpoints (simple linear V(f) map).
+    #: Sandy Bridge's usable voltage floor at 1.2 GHz is ~0.9 V.
+    volt_min: float = 0.90
+    volt_max: float = 1.05
+    #: Static (leakage + uncore) power of the measured domain, in watts.
+    static_power_w: float = 5.0
+    #: Dynamic power of the measured domain when every core runs fully
+    #: active application code at (f_max, v_max), in watts.
+    max_app_dynamic_w: float = 25.0
+    #: Dynamic power of the balloon task at level 1.0 and (f_max, v_max).
+    #: The balloon runs dense floating-point loops, so per-core it burns
+    #: slightly more than typical application code.
+    max_balloon_dynamic_w: float = 28.0
+    #: Thermal design power of the measured domain (mask targets must stay
+    #: below this, Section V-B).
+    tdp_w: float = 38.0
+    #: Idle-injection range (powerclamp): 0..48% in steps of 4%.
+    idle_max: float = 0.48
+    idle_step: float = 0.04
+    #: Balloon-level range: 0..100% in steps of 10%.
+    balloon_step: float = 0.10
+    #: Std-dev of the process noise added to true power (watts).
+    process_noise_w: float = 0.6
+    #: RAPL measurement domain label (Table III).
+    rapl_domain: str = "cores+l1+l2"
+    #: Platform power outside the measured domain (DRAM, disk, fans, ...)
+    #: as seen by an AC outlet meter, in watts.
+    platform_base_power_w: float = 30.0
+    #: AC power-supply efficiency for outlet measurements.
+    psu_efficiency: float = 0.88
+
+    def __post_init__(self) -> None:
+        if self.freq_min_ghz >= self.freq_max_ghz:
+            raise ValueError("freq_min_ghz must be < freq_max_ghz")
+        if not 0.0 < self.psu_efficiency <= 1.0:
+            raise ValueError("psu_efficiency must be in (0, 1]")
+        if self.tdp_w <= self.static_power_w:
+            raise ValueError("tdp_w must exceed static_power_w")
+
+    @property
+    def logical_cores(self) -> int:
+        return self.physical_cores * self.smt
+
+    @property
+    def freq_levels_ghz(self) -> np.ndarray:
+        """All selectable DVFS levels in GHz (inclusive endpoints)."""
+        count = int(round((self.freq_max_ghz - self.freq_min_ghz) / self.freq_step_ghz)) + 1
+        return np.round(self.freq_min_ghz + self.freq_step_ghz * np.arange(count), 6)
+
+    def voltage(self, freq_ghz: float | np.ndarray) -> float | np.ndarray:
+        """Linear voltage/frequency map V(f) used by the power model."""
+        frac = (np.asarray(freq_ghz, dtype=float) - self.freq_min_ghz) / (
+            self.freq_max_ghz - self.freq_min_ghz
+        )
+        frac = np.clip(frac, 0.0, 1.0)
+        volt = self.volt_min + (self.volt_max - self.volt_min) * frac
+        return float(volt) if np.isscalar(freq_ghz) else volt
+
+    def with_overrides(self, **kwargs: object) -> "PlatformSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Sys1: Sandy Bridge consumer machine, 6 cores x 2-way SMT, CentOS 7.6.
+SYS1 = PlatformSpec(
+    name="sys1",
+    physical_cores=6,
+    freq_min_ghz=1.2,
+    freq_max_ghz=2.0,
+    static_power_w=5.0,
+    max_app_dynamic_w=25.0,
+    max_balloon_dynamic_w=28.0,
+    tdp_w=38.0,
+    rapl_domain="cores+l1+l2",
+)
+
+#: Sys2: Sandy Bridge server, 2 sockets x 10 cores x 2-way SMT.
+SYS2 = PlatformSpec(
+    name="sys2",
+    physical_cores=20,
+    freq_min_ghz=1.2,
+    freq_max_ghz=2.6,
+    static_power_w=24.0,
+    max_app_dynamic_w=96.0,
+    max_balloon_dynamic_w=104.0,
+    tdp_w=160.0,
+    process_noise_w=1.4,
+    rapl_domain="packages",
+    platform_base_power_w=80.0,
+)
+
+#: Sys3: Haswell consumer machine, 4 cores x 2-way SMT, CentOS 7.7.
+SYS3 = PlatformSpec(
+    name="sys3",
+    physical_cores=4,
+    freq_min_ghz=0.8,
+    freq_max_ghz=3.5,
+    volt_min=0.70,
+    volt_max=1.15,
+    static_power_w=4.0,
+    max_app_dynamic_w=30.0,
+    max_balloon_dynamic_w=34.0,
+    tdp_w=45.0,
+    process_noise_w=0.7,
+    rapl_domain="cores+l1+l2",
+    platform_base_power_w=25.0,
+    psu_efficiency=0.85,
+)
+
+PLATFORMS = {spec.name: spec for spec in (SYS1, SYS2, SYS3)}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a preset platform by name (``sys1``/``sys2``/``sys3``)."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None

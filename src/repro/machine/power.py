@@ -1,0 +1,187 @@
+"""Analytic power model of the measured domain (cores + private caches).
+
+The side channel the paper defends exists because dynamic power tracks
+switching activity: ``P_dyn ~ C_eff * f * V^2`` with the effective
+capacitance ``C_eff`` modulated by what the application is doing.  The model
+here keeps exactly that coupling:
+
+* application power scales with the phase's activity level, the number of
+  cores it occupies, the DVFS point ``f * V(f)^2``, and the idle-injection
+  fraction;
+* the balloon task adds its own activity-proportional power;
+* static power scales with voltage (leakage) and is always present;
+* an AR(1) process-noise term models the residual variability of a real
+  machine (interrupts, prefetchers, DRAM refresh, ...).
+
+All terms are normalized so that the platform's quoted maxima
+(:attr:`PlatformSpec.max_app_dynamic_w` etc.) are hit at full activity and
+the highest DVFS level, making the model easy to calibrate per platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .platform import PlatformSpec
+
+__all__ = ["PowerBreakdown", "PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power for one instant, in watts."""
+
+    static_w: float
+    app_w: float
+    balloon_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.app_w + self.balloon_w
+
+
+class PowerModel:
+    """Computes the true power of the measured domain.
+
+    The model is memoryless apart from the AR(1) noise state, so it can be
+    evaluated vectorized over a window of simulation ticks during which the
+    actuator settings are constant.
+    """
+
+    #: AR(1) coefficient of the process noise; gives noise a ~100 ms
+    #: correlation time at 1 ms ticks, like real RAPL residuals.
+    NOISE_RHO = 0.98
+
+    def __init__(self, spec: PlatformSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self._rng = rng
+        self._noise_state = 0.0
+        # Normalization constant: f * V^2 at the top DVFS point.
+        self._fv2_max = spec.freq_max_ghz * spec.voltage(spec.freq_max_ghz) ** 2
+
+    def dvfs_scale(self, freq_ghz: float) -> float:
+        """Relative dynamic-power scale ``f V(f)^2 / (f_max V_max^2)``."""
+        volt = self.spec.voltage(freq_ghz)
+        return float(freq_ghz * volt**2 / self._fv2_max)
+
+    def static_power(self, freq_ghz: float) -> float:
+        """Leakage/uncore power; scales mildly with supply voltage."""
+        volt = self.spec.voltage(freq_ghz)
+        return self.spec.static_power_w * (0.6 + 0.4 * volt / self.spec.volt_max)
+
+    #: Fraction of its nominal power the balloon develops on a core it
+    #: shares with the application through SMT (it gets the spare issue
+    #: slots of the second hardware thread).
+    SMT_BALLOON_SHARE = 0.4
+    #: Power reduction per unit of injected idle.  powerclamp's forced
+    #: idle removes compute cycles one-for-one but the package keeps
+    #: burning wakeup/uncore power, so 48% idle injection cuts dynamic
+    #: power by ~34%, not 48%.
+    IDLE_POWER_EFFECTIVENESS = 0.7
+
+    def app_power(
+        self,
+        activity: np.ndarray | float,
+        core_fraction: float,
+        freq_ghz: float,
+        idle_frac: float,
+    ) -> np.ndarray | float:
+        """Dynamic power of the application under the current actuation.
+
+        ``activity`` is the per-tick switching-activity level in [0, 1];
+        ``core_fraction`` is the fraction of logical cores the application
+        occupies (sequential phases use few cores, parallel phases all).
+        Idle injection gates dynamic switching on all cores.
+        """
+        scale = self.dvfs_scale(freq_ghz) * self.idle_scale(idle_frac)
+        return self.spec.max_app_dynamic_w * np.asarray(activity) * core_fraction * scale
+
+    def balloon_power(
+        self, balloon_level: float, freq_ghz: float, idle_frac: float,
+        app_core_fraction: float = 0.0,
+    ) -> float:
+        """Dynamic power of the balloon task at the given duty cycle.
+
+        The balloon spawns one thread per logical core, so it shares the
+        machine with the application: on the ``app_core_fraction`` of
+        cores the application occupies, the balloon only develops
+        :data:`SMT_BALLOON_SHARE` of its nominal power (it runs in the
+        spare SMT slots); on the remaining cores it develops full power.
+        This is why the balloon's power authority — and hence the plant
+        gain the controller sees — varies with what the application is
+        doing, the model uncertainty the synthesis guardband absorbs.
+        """
+        scale = self.dvfs_scale(freq_ghz) * self.idle_scale(idle_frac)
+        occupancy = (1.0 - app_core_fraction) + self.SMT_BALLOON_SHARE * app_core_fraction
+        return float(self.spec.max_balloon_dynamic_w * balloon_level * occupancy * scale)
+
+    def idle_scale(self, idle_frac: float) -> float:
+        """Dynamic-power multiplier of the idle-injection level."""
+        return 1.0 - self.IDLE_POWER_EFFECTIVENESS * idle_frac
+
+    def process_noise(self, n_ticks: int) -> np.ndarray:
+        """Advance the AR(1) noise process by ``n_ticks`` and return it."""
+        from scipy.signal import lfilter
+
+        if n_ticks == 0:
+            return np.empty(0)
+        sigma = self.spec.process_noise_w * np.sqrt(1.0 - self.NOISE_RHO**2)
+        shocks = self._rng.normal(0.0, sigma, size=n_ticks)
+        # AR(1): noise[i] = rho * noise[i-1] + shock[i], seeded with the
+        # state carried over from the previous window.
+        noise, zf = lfilter(
+            [1.0], [1.0, -self.NOISE_RHO], shocks, zi=[self.NOISE_RHO * self._noise_state]
+        )
+        self._noise_state = float(noise[-1])
+        return noise
+
+    def window_power(
+        self,
+        activity: np.ndarray,
+        core_fraction: float,
+        freq_ghz: float,
+        idle_frac: float,
+        balloon_level: float,
+    ) -> np.ndarray:
+        """True per-tick power over a window with constant settings."""
+        activity = np.asarray(activity, dtype=float)
+        static = self.static_power(freq_ghz)
+        app = self.app_power(activity, core_fraction, freq_ghz, idle_frac)
+        balloon = self.balloon_power(balloon_level, freq_ghz, idle_frac, core_fraction)
+        power = static + app + balloon + self.process_noise(activity.size)
+        # Power can never be negative; noise excursions are clipped the way
+        # a physical sensor would never report below ~0 W.
+        return np.maximum(power, 0.1)
+
+    def breakdown(
+        self,
+        activity: float,
+        core_fraction: float,
+        freq_ghz: float,
+        idle_frac: float,
+        balloon_level: float,
+    ) -> PowerBreakdown:
+        """Noise-free per-component power at a single operating point."""
+        return PowerBreakdown(
+            static_w=self.static_power(freq_ghz),
+            app_w=float(self.app_power(activity, core_fraction, freq_ghz, idle_frac)),
+            balloon_w=self.balloon_power(balloon_level, freq_ghz, idle_frac, core_fraction),
+        )
+
+    def max_achievable_power(self) -> float:
+        """Power the balloon can sustain alone (idle application).
+
+        This is the binding actuation ceiling: a mask value above it is
+        unreachable whenever the application contributes nothing.
+        """
+        return (
+            self.static_power(self.spec.freq_max_ghz)
+            + self.spec.max_balloon_dynamic_w
+        )
+
+    def min_achievable_power(self) -> float:
+        """Lower bound (lowest DVFS, max idle injection, no balloon)."""
+        spec = self.spec
+        return self.static_power(spec.freq_min_ghz)

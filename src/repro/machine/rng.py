@@ -1,0 +1,36 @@
+"""Deterministic random-number management for the simulator.
+
+Every stochastic component of the reproduction (process noise, measurement
+noise, mask generators, workload jitter, attacker data splits) draws from a
+:class:`numpy.random.Generator` obtained through :func:`spawn`.  Seeding is
+hierarchical: a root seed plus a tuple of string/int keys uniquely identifies
+a stream, so experiments are reproducible end-to-end while independent
+components never share a stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["spawn", "derive_entropy"]
+
+
+def derive_entropy(seed: int, *keys: object) -> int:
+    """Hash ``seed`` and ``keys`` into a 128-bit integer entropy value.
+
+    The hash is stable across processes and Python versions (unlike
+    ``hash()``), which keeps experiment outputs byte-reproducible.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(seed)).encode())
+    for key in keys:
+        digest.update(b"\x1f")
+        digest.update(repr(key).encode())
+    return int.from_bytes(digest.digest()[:16], "little")
+
+
+def spawn(seed: int, *keys: object) -> np.random.Generator:
+    """Return an independent PCG64 generator for ``(seed, *keys)``."""
+    return np.random.Generator(np.random.PCG64(derive_entropy(seed, *keys)))

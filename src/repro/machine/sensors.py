@@ -1,0 +1,123 @@
+"""Power sensors: RAPL counters and the AC outlet meter.
+
+Both the defense and the attacker observe power through a sensor, never the
+true per-tick power:
+
+* :class:`RaplSensor` models Intel RAPL (Section V): an energy accumulator
+  updated continuously, read as a windowed average.  RAPL energy counts are
+  quantized (15.3 uJ units) and carry a small residual error.
+* :class:`OutletMeter` models the Yokogawa WT310 tap of Figure 5: it sees
+  the *wall* power — measured domain plus the rest of the platform, divided
+  by PSU efficiency — as RMS averages over three 60 Hz AC cycles (50 ms).
+
+Sensors are deliberately stateless over trace arrays so the attacker can
+re-sample a recorded trace at any interval (Figure 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .platform import PlatformSpec
+
+__all__ = ["RaplSensor", "OutletMeter", "window_means"]
+
+
+def window_means(values: np.ndarray, window: int) -> np.ndarray:
+    """Non-overlapping window means; trailing partial window dropped."""
+    values = np.asarray(values, dtype=float)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n_windows = values.size // window
+    if n_windows == 0:
+        return np.empty(0)
+    return values[: n_windows * window].reshape(n_windows, window).mean(axis=1)
+
+
+class RaplSensor:
+    """Running Average Power Limit energy counter."""
+
+    #: RAPL energy status unit (2^-16 J ~ 15.3 uJ).
+    ENERGY_QUANTUM_J = 2.0**-16
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        rng: np.random.Generator,
+        noise_w: float = 0.06,
+    ) -> None:
+        self.spec = spec
+        self._rng = rng
+        self.noise_w = noise_w
+
+    def measure_window(self, tick_powers: np.ndarray, tick_s: float) -> float:
+        """Average power over one defense interval, as the counter reports it."""
+        tick_powers = np.asarray(tick_powers, dtype=float)
+        if tick_powers.size == 0:
+            raise ValueError("cannot measure an empty window")
+        duration = tick_powers.size * tick_s
+        energy = float(tick_powers.sum()) * tick_s
+        energy = np.round(energy / self.ENERGY_QUANTUM_J) * self.ENERGY_QUANTUM_J
+        return energy / duration + float(self._rng.normal(0.0, self.noise_w))
+
+    def sample_trace(
+        self, tick_powers: np.ndarray, tick_s: float, interval_s: float
+    ) -> np.ndarray:
+        """Resample a full tick-resolution trace at a sampling interval.
+
+        This is what an attacker reading unprivileged RAPL counters obtains
+        (Table IV, attacks 1 and 2).
+        """
+        window = int(round(interval_s / tick_s))
+        if window < 1:
+            raise ValueError(
+                f"sampling interval {interval_s}s is finer than the tick {tick_s}s"
+            )
+        means = window_means(tick_powers, window)
+        quant = self.ENERGY_QUANTUM_J / (window * tick_s)
+        means = np.round(means / quant) * quant
+        return means + self._rng.normal(0.0, self.noise_w, size=means.size)
+
+
+class OutletMeter:
+    """AC electrical-outlet power meter (RMS over three AC cycles)."""
+
+    AC_FREQUENCY_HZ = 60.0
+    CYCLES_PER_SAMPLE = 3
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        rng: np.random.Generator,
+        noise_w: float = 0.5,
+        platform_noise_w: float = 0.8,
+    ) -> None:
+        self.spec = spec
+        self._rng = rng
+        self.noise_w = noise_w
+        self.platform_noise_w = platform_noise_w
+
+    @property
+    def sample_interval_s(self) -> float:
+        """50 ms: three cycles of 60 Hz AC."""
+        return self.CYCLES_PER_SAMPLE / self.AC_FREQUENCY_HZ * 1.0
+
+    def wall_power(self, tick_powers: np.ndarray) -> np.ndarray:
+        """Translate domain power into wall power seen at the outlet."""
+        tick_powers = np.asarray(tick_powers, dtype=float)
+        platform = self.spec.platform_base_power_w + self._rng.normal(
+            0.0, self.platform_noise_w, size=tick_powers.size
+        )
+        return (tick_powers + np.maximum(platform, 0.0)) / self.spec.psu_efficiency
+
+    def sample_trace(self, tick_powers: np.ndarray, tick_s: float) -> np.ndarray:
+        """RMS power samples every three AC cycles, as the WT310 reports."""
+        wall = self.wall_power(tick_powers)
+        window = int(round(self.sample_interval_s / tick_s))
+        window = max(window, 1)
+        n_windows = wall.size // window
+        if n_windows == 0:
+            return np.empty(0)
+        chunks = wall[: n_windows * window].reshape(n_windows, window)
+        rms = np.sqrt(np.mean(chunks**2, axis=1))
+        return rms + self._rng.normal(0.0, self.noise_w, size=rms.size)

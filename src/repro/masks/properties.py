@@ -1,0 +1,140 @@
+"""Signal-property analysis reproducing Table II.
+
+Given a signal, decide the four properties the paper tabulates: does the
+mean change over time, does the variance change over time, is the FFT
+spread over a range, and does the FFT have discrete peaks.
+
+The frequency-domain properties are judged the way the paper uses them —
+*can an attacker filter the distortion out?* — via short-window spectra:
+
+* **peaks**: windows consistently contain a dominant tone (high spectral
+  crest) whose frequency moves around the band (so they are deliberate
+  tones, not the low-frequency roll-off every step-like signal has);
+* **spread**: substantial energy survives after removing the strongest
+  three spectral components (and their leakage neighborhoods) from each
+  window — i.e. the distortion is not a handful of filterable lines.
+
+Time-domain properties use windowed statistics:
+
+* **mean change**: the range of windowed means is a significant fraction
+  of the signal's range;
+* **variance change**: the inter-quartile spread of *short*-window (six
+  samples — the minimum mask hold) standard deviations; piecewise-constant
+  signals score ~0 because nearly all short windows lie inside a hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SignalProperties", "analyze_signal"]
+
+#: Short-window length for the frequency-domain analysis.
+_FFT_WINDOW = 128
+#: Window-spectrum bins below this index are ignored: they carry the
+#: roll-off of any step-like signal and would masquerade as tones.
+_SKIP_BINS = 3
+
+
+@dataclass(frozen=True)
+class SignalProperties:
+    """One row of Table II, with the underlying metrics retained."""
+
+    changes_mean: bool
+    changes_variance: bool
+    fft_spread: bool
+    fft_peaks: bool
+    #: Supporting metrics (relative units).
+    mean_variation: float
+    variance_variation: float
+    spectral_spread: float
+    spectral_crest: float
+    peak_dispersion: float
+
+    def as_row(self) -> dict:
+        flags = {
+            "mean": self.changes_mean,
+            "variance": self.changes_variance,
+            "spread": self.fft_spread,
+            "peaks": self.fft_peaks,
+        }
+        return {key: ("Yes" if value else "-") for key, value in flags.items()}
+
+
+def _window_spectra(signal: np.ndarray, scale: float) -> tuple[float, float, float]:
+    """Median crest, median post-peak-removal spread, argmax dispersion."""
+    n_windows = signal.size // _FFT_WINDOW
+    crests: list[float] = []
+    spreads: list[float] = []
+    argmaxes: list[float] = []
+    negligible = (0.02 * scale * _FFT_WINDOW / 4.0) ** 2
+    for i in range(n_windows):
+        window = signal[i * _FFT_WINDOW:(i + 1) * _FFT_WINDOW]
+        mags = np.abs(np.fft.rfft(window - window.mean()))[_SKIP_BINS:]
+        energy = mags**2
+        total = float(energy.sum())
+        if total < negligible:
+            continue  # flat window (e.g. inside a constant hold)
+        crests.append(float(energy.max() / energy.mean()))
+        masked = energy.copy()
+        for _ in range(3):
+            j = int(np.argmax(masked))
+            masked[max(0, j - 2):j + 3] = 0.0
+        spreads.append(float(masked.sum() / total))
+        argmaxes.append(float(np.argmax(energy)) / energy.size)
+    if not crests:
+        return 0.0, 0.0, 0.0
+    # Tones are "real" if their frequency either moves around the band
+    # (IQR) or sits well above the step-signal roll-off region (median).
+    # Step-like signals always peak at the lowest retained bins.
+    iqr = float(np.quantile(argmaxes, 0.75) - np.quantile(argmaxes, 0.25))
+    dispersion = max(iqr, float(np.median(argmaxes)) - 0.04)
+    return float(np.median(crests)), float(np.median(spreads)), dispersion
+
+
+def analyze_signal(
+    signal: np.ndarray,
+    mean_threshold: float = 0.08,
+    variance_threshold: float = 0.015,
+    spread_threshold: float = 0.12,
+    crest_threshold: float = 12.0,
+    dispersion_threshold: float = 0.04,
+) -> SignalProperties:
+    """Classify a signal's time- and frequency-domain behaviour (Table II)."""
+    signal = np.asarray(signal, dtype=float).reshape(-1)
+    if signal.size < 4 * _FFT_WINDOW:
+        raise ValueError(
+            f"signal needs at least {4 * _FFT_WINDOW} samples for the analysis"
+        )
+
+    scale = float(signal.max() - signal.min())
+    if scale <= 0.0:
+        return SignalProperties(False, False, False, False, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    # Mean change: 12 coarse windows.
+    coarse = 12
+    length = signal.size // coarse
+    means = signal[: coarse * length].reshape(coarse, length).mean(axis=1)
+    mean_variation = float((means.max() - means.min()) / scale)
+
+    # Variance change: 6-sample windows (the minimum N_hold).
+    fine = 6
+    m = signal.size // fine
+    stds = signal[: m * fine].reshape(m, fine).std(axis=1) / scale
+    variance_variation = float(np.quantile(stds, 0.75) - np.quantile(stds, 0.25))
+
+    crest, spread, dispersion = _window_spectra(signal, scale)
+
+    return SignalProperties(
+        changes_mean=mean_variation > mean_threshold,
+        changes_variance=variance_variation > variance_threshold,
+        fft_spread=spread > spread_threshold,
+        fft_peaks=crest > crest_threshold and dispersion > dispersion_threshold,
+        mean_variation=mean_variation,
+        variance_variation=variance_variation,
+        spectral_spread=spread,
+        spectral_crest=crest,
+        peak_dispersion=dispersion,
+    )

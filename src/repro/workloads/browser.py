@@ -1,0 +1,120 @@
+"""Synthetic browser workloads for the seven web pages of the paper.
+
+The webpage-detection attack (Section VI-A, attack 3) classifies visits to
+google.com, ted.com, youtube.com, chase.com, IEEE Xplore, amazon.com and
+paypal.com from AC-outlet power.  The paper trains on the traces' FFTs
+because "browser activity has varying rates of change in a short duration" —
+the leakage is the page's burst structure: network-idle gaps, parse/layout
+bursts, JS timers, and (for video sites) steady decode activity.
+
+Each page below is a ~15 s program of load/render/idle/script phases whose
+burst cadence differs per site, so FFT features separate the pages on the
+undefended machine just as in the paper:
+
+* google   — tiny page: one short burst, then near-idle with cursor blink.
+* ted      — media-rich: medium load burst, then periodic carousel + video
+  preview activity.
+* youtube  — heavy load burst then sustained periodic video decode.
+* chase    — banking: moderate load, repeated security/JS bursts.
+* ieee     — document-heavy: long parse burst, then mostly idle scrolling.
+* amazon   — many resources: staggered bursts from lazy-loaded content.
+* paypal   — light page with periodic token-refresh bursts.
+"""
+
+from __future__ import annotations
+
+from .phases import Phase, PhaseProgram
+
+__all__ = ["PAGE_NAMES", "browser_program", "browser_labels"]
+
+#: Label order follows the paper's Figure 9 (0..6).
+PAGE_NAMES: tuple[str, ...] = (
+    "google",
+    "ted",
+    "youtube",
+    "chase",
+    "ieee",
+    "amazon",
+    "paypal",
+)
+
+
+def _idle(name: str, seconds: float) -> Phase:
+    return Phase(name, seconds, 0.08, 0.10, memory_intensity=0.3)
+
+
+def _burst(name: str, seconds: float, intensity: float, period: float = 0.0,
+           amplitude: float = 0.0) -> Phase:
+    # Bursts light up most cores: page load, JS and decode work is heavily
+    # parallel in a modern browser.
+    return Phase(
+        name,
+        seconds,
+        intensity,
+        core_fraction=0.8,
+        memory_intensity=0.35,
+        osc_amplitude=amplitude,
+        osc_period_s=period,
+    )
+
+
+def browser_program(page: str) -> PhaseProgram:
+    """Build the ~15 s visit program for one page."""
+    if page == "google":
+        phases = (
+            _burst("load", 0.8, 0.55),
+            _idle("idle_1", 6.0),
+            _burst("typeahead", 0.6, 0.35),
+            _idle("idle_2", 7.6),
+        )
+    elif page == "ted":
+        phases = (
+            _burst("load", 2.2, 0.62),
+            _burst("carousel", 9.0, 0.30, period=1.4, amplitude=0.6),
+            _idle("idle", 3.8),
+        )
+    elif page == "youtube":
+        phases = (
+            _burst("load", 2.8, 0.70),
+            _burst("video_decode", 12.2, 0.48, period=0.35, amplitude=0.35),
+        )
+    elif page == "chase":
+        phases = (
+            _burst("load", 1.8, 0.58),
+            _idle("idle_1", 2.5),
+            _burst("security_js", 1.2, 0.45),
+            _idle("idle_2", 3.0),
+            _burst("account_poll", 5.0, 0.28, period=2.0, amplitude=0.8),
+            _idle("idle_3", 1.5),
+        )
+    elif page == "ieee":
+        phases = (
+            _burst("load_parse", 3.5, 0.66),
+            _idle("read_1", 5.0),
+            _burst("scroll", 1.0, 0.35),
+            _idle("read_2", 5.5),
+        )
+    elif page == "amazon":
+        phases = (
+            _burst("load", 2.0, 0.64),
+            _burst("lazy_1", 1.0, 0.42),
+            _idle("idle_1", 2.0),
+            _burst("lazy_2", 1.0, 0.40),
+            _idle("idle_2", 2.5),
+            _burst("lazy_3", 1.0, 0.44),
+            _idle("idle_3", 5.5),
+        )
+    elif page == "paypal":
+        phases = (
+            _burst("load", 1.4, 0.50),
+            _burst("token_refresh", 11.0, 0.20, period=3.0, amplitude=1.0),
+            _idle("idle", 2.6),
+        )
+    else:
+        raise KeyError(f"unknown page {page!r}; known: {PAGE_NAMES}")
+    return PhaseProgram(name=f"page_{page}", family="browser", phases=phases)
+
+
+def browser_labels() -> dict[str, int]:
+    """Map page name to its Figure 9 label (0..6)."""
+    return {name: index for index, name in enumerate(PAGE_NAMES)}

@@ -1,0 +1,38 @@
+"""Registry of every workload the reproduction knows about."""
+
+from __future__ import annotations
+
+from .browser import PAGE_NAMES, browser_program
+from .microbench import INSTRUCTION_LOOPS, instruction_loop
+from .parsec import PARSEC_APPS, parsec_program
+from .phases import PhaseProgram
+from .video import VIDEO_NAMES, video_program
+
+__all__ = ["WORKLOAD_FAMILIES", "all_workload_names", "get_workload"]
+
+WORKLOAD_FAMILIES = {
+    "parsec": PARSEC_APPS,
+    "video": tuple(f"video_{name}" for name in VIDEO_NAMES),
+    "browser": tuple(f"page_{name}" for name in PAGE_NAMES),
+    "microbench": tuple(f"loop_{name}" for name in INSTRUCTION_LOOPS),
+}
+
+
+def all_workload_names() -> tuple[str, ...]:
+    names: list[str] = []
+    for family_names in WORKLOAD_FAMILIES.values():
+        names.extend(family_names)
+    return tuple(names)
+
+
+def get_workload(name: str) -> PhaseProgram:
+    """Look up any workload by its registry name."""
+    if name in PARSEC_APPS:
+        return parsec_program(name)
+    if name.startswith("video_"):
+        return video_program(name[len("video_"):])
+    if name.startswith("page_"):
+        return browser_program(name[len("page_"):])
+    if name.startswith("loop_"):
+        return instruction_loop(name[len("loop_"):])
+    raise KeyError(f"unknown workload {name!r}; known: {all_workload_names()}")

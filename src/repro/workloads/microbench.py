@@ -1,0 +1,42 @@
+"""Instruction micro-loops for the PLATYPUS-style experiment (Figure 15).
+
+PLATYPUS distinguishes which instruction a tight loop executes purely from
+RAPL power: ``imul`` burns more than ``xor``, which burns more than ``mov``.
+Each loop is a single constant-activity phase; the activity levels are set
+so the Baseline power separation matches the ~1.5 W spread of Figure 15a.
+"""
+
+from __future__ import annotations
+
+from .phases import Phase, PhaseProgram
+
+__all__ = ["INSTRUCTION_LOOPS", "instruction_loop", "instruction_labels"]
+
+#: Paper order: imul, mov, xor (Figure 15 legend).
+INSTRUCTION_LOOPS: tuple[str, ...] = ("imul", "mov", "xor")
+
+#: Switching activity of each instruction loop, running on every core.
+_ACTIVITY = {"imul": 0.46, "mov": 0.34, "xor": 0.40}
+
+
+def instruction_loop(instruction: str, duration_s: float = 10.0) -> PhaseProgram:
+    """A tight loop of one instruction on all cores for ``duration_s``."""
+    try:
+        activity = _ACTIVITY[instruction]
+    except KeyError:
+        raise KeyError(
+            f"unknown instruction {instruction!r}; known: {INSTRUCTION_LOOPS}"
+        ) from None
+    phase = Phase(
+        name=f"{instruction}_loop",
+        work_units=duration_s,
+        activity=activity,
+        core_fraction=1.0,
+        memory_intensity=0.0,
+    )
+    return PhaseProgram(name=f"loop_{instruction}", family="microbench", phases=(phase,))
+
+
+def instruction_labels() -> dict[str, int]:
+    """Map instruction name to its Figure 15 label."""
+    return {name: index for index, name in enumerate(INSTRUCTION_LOOPS)}

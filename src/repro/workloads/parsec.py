@@ -1,0 +1,237 @@
+"""Synthetic stand-ins for the 11 PARSEC 3.0 / SPLASH-2x applications.
+
+The app-detection attack (Section VI-A, attack 1) classifies applications
+from their power traces.  What makes that possible on real hardware is that
+each application has a distinct *signature*: different average power,
+different sequential/parallel phase layout, different loop periodicities,
+and different compute/memory balance.  Each program below encodes one such
+signature.
+
+Calibration: the applications span a wide dynamic-power band (products of
+activity and core occupancy from ~0.36 for canneal to 0.88 for
+water_nsquared) — memory stalls and limited parallel sections make real
+benchmarks differ strongly — while staying uniformly warm, because PARSEC
+and SPLASH-2x worker threads spin-wait rather than sleep.  The phase
+shapes follow the published
+characterizations of the benchmarks (e.g. blackscholes: short sequential
+load, long uniform data-parallel region, sequential epilogue).
+
+Label order matches the paper's Figure 6: PARSEC applications first, then
+SPLASH-2x, so ``water_nsquared`` is label 9 as in Figure 10.
+"""
+
+from __future__ import annotations
+
+from .phases import Phase, PhaseProgram
+
+__all__ = ["PARSEC_APPS", "parsec_program", "parsec_labels"]
+
+
+def _blackscholes() -> PhaseProgram:
+    """Option pricing: sequential load, flat parallel sweep, epilogue."""
+    return PhaseProgram(
+        name="blackscholes",
+        family="parsec",
+        phases=(
+            Phase("load", 3.0, 0.25, 0.10, memory_intensity=0.6),
+            Phase("pricing", 24.0, 0.66, 1.00, memory_intensity=0.1,
+                  osc_amplitude=0.05, osc_period_s=0.8),
+            Phase("writeback", 2.5, 0.45, 0.20, memory_intensity=0.7),
+        ),
+    )
+
+
+def _bodytrack() -> PhaseProgram:
+    """Per-frame particle filter: strong frame-rate periodicity."""
+    return PhaseProgram(
+        name="bodytrack",
+        family="parsec",
+        phases=(
+            Phase("init", 2.0, 0.30, 0.20, memory_intensity=0.4),
+            Phase("track_frames", 26.0, 0.62, 0.85, memory_intensity=0.25,
+                  osc_amplitude=0.18, osc_period_s=0.45),
+            Phase("finish", 1.5, 0.20, 0.10, memory_intensity=0.5),
+        ),
+    )
+
+
+def _canneal() -> PhaseProgram:
+    """Simulated annealing over a netlist: memory-bound, low power."""
+    return PhaseProgram(
+        name="canneal",
+        family="parsec",
+        phases=(
+            Phase("netlist_load", 4.0, 0.20, 0.15, memory_intensity=0.8),
+            Phase("anneal_hot", 10.0, 0.50, 0.85, memory_intensity=0.75,
+                  osc_amplitude=0.10, osc_period_s=1.6),
+            Phase("anneal_mid", 9.0, 0.45, 0.85, memory_intensity=0.75,
+                  osc_amplitude=0.08, osc_period_s=1.6),
+            Phase("anneal_cold", 7.0, 0.42, 0.85, memory_intensity=0.75),
+            Phase("route", 2.0, 0.24, 0.30, memory_intensity=0.6),
+        ),
+    )
+
+
+def _freqmine() -> PhaseProgram:
+    """FP-growth mining: alternating build/mine waves, mid power."""
+    return PhaseProgram(
+        name="freqmine",
+        family="parsec",
+        phases=(
+            Phase("scan_db", 3.5, 0.32, 0.40, memory_intensity=0.6),
+            Phase("build_fptree", 6.0, 0.50, 0.80, memory_intensity=0.55,
+                  osc_amplitude=0.15, osc_period_s=1.1),
+            Phase("mine_1", 8.0, 0.60, 0.90, memory_intensity=0.35,
+                  osc_amplitude=0.12, osc_period_s=0.7),
+            Phase("mine_2", 7.0, 0.55, 0.90, memory_intensity=0.40,
+                  osc_amplitude=0.12, osc_period_s=1.3),
+            Phase("report", 1.5, 0.20, 0.10, memory_intensity=0.5),
+        ),
+    )
+
+
+def _raytrace() -> PhaseProgram:
+    """Real-time raytracing: steady high compute with frame cadence."""
+    return PhaseProgram(
+        name="raytrace",
+        family="parsec",
+        phases=(
+            Phase("scene_build", 3.0, 0.30, 0.25, memory_intensity=0.55),
+            Phase("render", 27.0, 0.70, 0.95, memory_intensity=0.2,
+                  osc_amplitude=0.10, osc_period_s=0.30),
+            Phase("teardown", 1.0, 0.18, 0.10, memory_intensity=0.4),
+        ),
+    )
+
+
+def _streamcluster() -> PhaseProgram:
+    """Online clustering of streamed points: chunked bursts, lowish power."""
+    return PhaseProgram(
+        name="streamcluster",
+        family="parsec",
+        phases=(
+            Phase("chunk_1", 6.5, 0.55, 0.90, memory_intensity=0.55,
+                  osc_amplitude=0.15, osc_period_s=2.2),
+            Phase("chunk_2", 6.5, 0.48, 0.90, memory_intensity=0.55,
+                  osc_amplitude=0.15, osc_period_s=2.2),
+            Phase("chunk_3", 6.5, 0.58, 0.90, memory_intensity=0.55,
+                  osc_amplitude=0.15, osc_period_s=2.2),
+            Phase("chunk_4", 6.5, 0.45, 0.90, memory_intensity=0.55,
+                  osc_amplitude=0.15, osc_period_s=2.2),
+            Phase("final_centers", 2.5, 0.30, 0.50, memory_intensity=0.3),
+        ),
+    )
+
+
+def _vips() -> PhaseProgram:
+    """Image pipeline: staged filters, among the hottest PARSEC apps."""
+    return PhaseProgram(
+        name="vips",
+        family="parsec",
+        phases=(
+            Phase("decode", 2.5, 0.40, 0.50, memory_intensity=0.6),
+            Phase("affine", 7.0, 0.68, 0.95, memory_intensity=0.45,
+                  osc_amplitude=0.12, osc_period_s=0.55),
+            Phase("convolve", 9.0, 0.82, 1.00, memory_intensity=0.3,
+                  osc_amplitude=0.12, osc_period_s=0.55),
+            Phase("sharpen", 6.0, 0.74, 1.00, memory_intensity=0.35,
+                  osc_amplitude=0.12, osc_period_s=0.55),
+            Phase("encode", 2.5, 0.45, 0.60, memory_intensity=0.5),
+        ),
+    )
+
+
+def _radiosity() -> PhaseProgram:
+    """Hierarchical radiosity: iterations that shrink over time."""
+    return PhaseProgram(
+        name="radiosity",
+        family="splash2x",
+        phases=(
+            Phase("bsp_build", 2.5, 0.32, 0.30, memory_intensity=0.5),
+            Phase("iter_1", 9.0, 0.66, 0.95, memory_intensity=0.4,
+                  osc_amplitude=0.14, osc_period_s=1.8),
+            Phase("iter_2", 6.0, 0.60, 0.95, memory_intensity=0.4,
+                  osc_amplitude=0.14, osc_period_s=1.2),
+            Phase("iter_3", 4.0, 0.54, 0.95, memory_intensity=0.4,
+                  osc_amplitude=0.14, osc_period_s=0.8),
+            Phase("display", 1.5, 0.22, 0.15, memory_intensity=0.5),
+        ),
+    )
+
+
+def _volrend() -> PhaseProgram:
+    """Volume rendering: the coolest app — short ray bursts, long waits."""
+    return PhaseProgram(
+        name="volrend",
+        family="splash2x",
+        phases=(
+            Phase("load_volume", 3.0, 0.30, 0.25, memory_intensity=0.75),
+            Phase("render_frames", 20.0, 0.50, 0.85, memory_intensity=0.5,
+                  osc_amplitude=0.22, osc_period_s=0.60),
+            Phase("finish", 1.0, 0.15, 0.10, memory_intensity=0.4),
+        ),
+    )
+
+
+def _water_nsquared() -> PhaseProgram:
+    """O(n^2) molecular dynamics: the hottest app, long timestep loop."""
+    return PhaseProgram(
+        name="water_nsquared",
+        family="splash2x",
+        phases=(
+            Phase("setup", 2.0, 0.30, 0.20, memory_intensity=0.45),
+            Phase("timesteps", 30.0, 0.88, 1.00, memory_intensity=0.1,
+                  osc_amplitude=0.10, osc_period_s=1.05),
+            Phase("stats", 1.0, 0.22, 0.10, memory_intensity=0.45),
+        ),
+    )
+
+
+def _water_spatial() -> PhaseProgram:
+    """Spatially-decomposed MD: hot but choppier than nsquared."""
+    return PhaseProgram(
+        name="water_spatial",
+        family="splash2x",
+        phases=(
+            Phase("setup", 2.0, 0.28, 0.20, memory_intensity=0.5),
+            Phase("timesteps", 22.0, 0.76, 1.00, memory_intensity=0.2,
+                  osc_amplitude=0.12, osc_period_s=0.75),
+            Phase("rebalance", 3.0, 0.40, 0.60, memory_intensity=0.55),
+            Phase("timesteps_2", 8.0, 0.76, 1.00, memory_intensity=0.2,
+                  osc_amplitude=0.12, osc_period_s=0.75),
+            Phase("stats", 1.0, 0.20, 0.10, memory_intensity=0.45),
+        ),
+    )
+
+
+_BUILDERS = (
+    _blackscholes,
+    _bodytrack,
+    _canneal,
+    _freqmine,
+    _raytrace,
+    _streamcluster,
+    _vips,
+    _radiosity,
+    _volrend,
+    _water_nsquared,
+    _water_spatial,
+)
+
+#: The 11 applications in the paper's label order (Figure 6).
+PARSEC_APPS: tuple[str, ...] = tuple(builder().name for builder in _BUILDERS)
+
+_BY_NAME = {builder().name: builder for builder in _BUILDERS}
+
+
+def parsec_program(name: str) -> PhaseProgram:
+    """Return the synthetic program for a PARSEC/SPLASH-2x app by name."""
+    try:
+        return _BY_NAME[name]()
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; known: {PARSEC_APPS}") from None
+
+
+def parsec_labels() -> dict[str, int]:
+    """Map application name to its Figure 6 label (0..10)."""
+    return {name: index for index, name in enumerate(PARSEC_APPS)}

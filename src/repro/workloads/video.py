@@ -1,0 +1,84 @@
+"""Synthetic FFmpeg/x264 encoding workloads for the four test videos.
+
+The video-detection attack (Section VI-A, attack 2) identifies which raw
+video is being transcoded on Sys2.  The leakage source is the per-frame
+encoding effort: motion-heavy segments (tractor driving, riverbed turbulence)
+cost more motion estimation and residual coding than static ones (sunflower
+close-up).  We model each video as a deterministic frame-complexity curve
+sampled into encoding segments; the curves follow the well-known character
+of the Derf test clips:
+
+* ``tractor``   — steady high motion with a slow pan, mild undulation.
+* ``riverbed``  — chaotic water texture: the hardest clip, high complexity
+  with fast small-scale variation.
+* ``wind``      — gusty motion: alternating calm and burst segments.
+* ``sunflower`` — nearly static close-up: low complexity with a brief bee
+  fly-through bump.
+
+Each program is a chain of short phases (one per segment of ~12 frames), so
+the encoder's power trace carries the complexity curve exactly the way the
+paper's RAPL traces do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .phases import Phase, PhaseProgram
+
+__all__ = ["VIDEO_NAMES", "video_program", "video_labels"]
+
+#: Label order follows the paper: tractor, riverbed, wind, sunflower.
+VIDEO_NAMES: tuple[str, ...] = ("tractor", "riverbed", "wind", "sunflower")
+
+#: Segments per clip and seconds of encoding work per segment.
+_SEGMENTS = 48
+_SEGMENT_WORK_S = 0.5
+
+
+def _complexity_curve(video: str) -> np.ndarray:
+    """Deterministic per-segment encoding complexity in [0, 1]."""
+    t = np.linspace(0.0, 1.0, _SEGMENTS)
+    if video == "tractor":
+        curve = 0.72 + 0.08 * np.sin(2 * np.pi * 1.5 * t) + 0.05 * np.sin(2 * np.pi * 5 * t)
+    elif video == "riverbed":
+        curve = 0.85 + 0.07 * np.sin(2 * np.pi * 9 * t) + 0.04 * np.cos(2 * np.pi * 23 * t)
+    elif video == "wind":
+        gusts = 0.5 * (1 + np.sign(np.sin(2 * np.pi * 2.5 * t + 0.4)))
+        curve = 0.45 + 0.25 * gusts + 0.05 * np.sin(2 * np.pi * 11 * t)
+    elif video == "sunflower":
+        bee = np.exp(-((t - 0.55) ** 2) / 0.004)
+        curve = 0.30 + 0.04 * np.sin(2 * np.pi * 2 * t) + 0.25 * bee
+    else:
+        raise KeyError(f"unknown video {video!r}; known: {VIDEO_NAMES}")
+    return np.clip(curve, 0.05, 1.0)
+
+
+def video_program(video: str) -> PhaseProgram:
+    """Build the encoding program (x264 transcode) for one test clip."""
+    curve = _complexity_curve(video)
+    phases = [
+        Phase("demux", 1.0, 0.30, 0.30, memory_intensity=0.6),
+    ]
+    for index, complexity in enumerate(curve):
+        # Motion estimation dominates: compute-bound, all threads busy,
+        # activity proportional to segment complexity.  Harder segments
+        # also take longer to encode (variable work per segment).
+        phases.append(
+            Phase(
+                name=f"gop_{index:02d}",
+                work_units=_SEGMENT_WORK_S * (0.6 + 0.8 * float(complexity)),
+                activity=0.35 + 0.55 * float(complexity),
+                core_fraction=0.95,
+                memory_intensity=0.3,
+                osc_amplitude=0.10,
+                osc_period_s=0.12,
+            )
+        )
+    phases.append(Phase("mux", 0.8, 0.25, 0.20, memory_intensity=0.6))
+    return PhaseProgram(name=f"video_{video}", family="video", phases=tuple(phases))
+
+
+def video_labels() -> dict[str, int]:
+    """Map video name to its Figure 8 label (0..3)."""
+    return {name: index for index, name in enumerate(VIDEO_NAMES)}

@@ -1,0 +1,98 @@
+"""Tests for repro.analysis.changepoint (PELT)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import changepoint_times, pelt
+from repro.analysis.changepoint import SegmentCost
+
+
+class TestSegmentCost:
+    def test_cost_additive_structure(self):
+        rng = np.random.default_rng(0)
+        signal = rng.normal(size=100)
+        cost = SegmentCost(signal)
+        # Cost of a segment equals n*log(var) computed directly.
+        seg = signal[10:40]
+        expected = seg.size * np.log(max(seg.var(), SegmentCost.MIN_VAR))
+        assert cost.cost(10, 40) == pytest.approx(expected)
+
+    def test_constant_segment_uses_floor(self):
+        cost = SegmentCost(np.full(50, 3.0))
+        assert np.isfinite(cost.cost(0, 50))
+
+
+class TestPelt:
+    def test_single_mean_shift(self):
+        rng = np.random.default_rng(1)
+        signal = np.concatenate([rng.normal(0, 1, 200), rng.normal(6, 1, 200)])
+        cps = pelt(signal)
+        assert len(cps) == 1
+        assert abs(cps[0] - 200) <= 5
+
+    def test_variance_shift_detected(self):
+        rng = np.random.default_rng(2)
+        signal = np.concatenate([rng.normal(0, 0.5, 300), rng.normal(0, 4.0, 300)])
+        cps = pelt(signal)
+        assert any(abs(cp - 300) <= 15 for cp in cps)
+
+    def test_no_changepoints_in_stationary_noise(self):
+        rng = np.random.default_rng(3)
+        assert pelt(rng.normal(0, 1, 600)) == []
+
+    def test_multiple_shifts(self):
+        rng = np.random.default_rng(4)
+        signal = np.concatenate(
+            [rng.normal(m, 0.8, 150) for m in (0, 5, -3, 4)]
+        )
+        cps = pelt(signal)
+        assert len(cps) == 3
+        for true_cp in (150, 300, 450):
+            assert min(abs(cp - true_cp) for cp in cps) <= 5
+
+    def test_penalty_controls_sensitivity(self):
+        rng = np.random.default_rng(5)
+        signal = np.concatenate([rng.normal(m, 1.0, 100) for m in (0, 1.2, 0, 1.2)])
+        loose = pelt(signal, penalty=2.0)
+        strict = pelt(signal, penalty=200.0)
+        assert len(loose) >= len(strict)
+
+    def test_short_signal_returns_empty(self):
+        assert pelt(np.ones(5)) == []
+
+    def test_min_size_respected(self):
+        rng = np.random.default_rng(6)
+        signal = np.concatenate([rng.normal(0, 1, 100), rng.normal(8, 1, 100)])
+        cps = pelt(signal, min_size=30)
+        assert all(cp >= 30 and cp <= signal.size - 30 for cp in cps)
+        assert all(b - a >= 30 for a, b in zip([0] + cps, cps + [signal.size]))
+
+    def test_changepoint_times_scaling(self):
+        rng = np.random.default_rng(7)
+        signal = np.concatenate([rng.normal(0, 1, 200), rng.normal(6, 1, 200)])
+        times = changepoint_times(signal, interval_s=0.02)
+        assert times.size == 1
+        assert times[0] == pytest.approx(4.0, abs=0.2)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_detection_invariant_to_level_shift(self, offset):
+        rng = np.random.default_rng(8)
+        signal = np.concatenate([rng.normal(0, 1, 150), rng.normal(5, 1, 150)])
+        assert pelt(signal + offset) == pelt(signal)
+
+    def test_exactness_against_bruteforce_single_split(self):
+        """PELT must find the same optimum as exhaustive single-split search
+        when the penalty forces at most one change point."""
+        rng = np.random.default_rng(9)
+        signal = np.concatenate([rng.normal(0, 1, 60), rng.normal(3, 1, 60)])
+        cost = SegmentCost(signal)
+        penalty = 30.0
+        n = signal.size
+        best = (cost.cost(0, n), [])
+        for split in range(5, n - 5):
+            total = cost.cost(0, split) + cost.cost(split, n) + penalty
+            if total < best[0]:
+                best = (total, [split])
+        assert pelt(signal, penalty=penalty, min_size=5) == best[1]

@@ -1,0 +1,65 @@
+"""Tests for repro.analysis.dtw."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import dtw_distance, dtw_normalized
+
+floats = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=30
+)
+
+
+class TestDtw:
+    def test_identical_sequences_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert dtw_distance(a, a) == 0.0
+
+    def test_constant_offset(self):
+        a = np.zeros(10)
+        b = np.full(10, 2.0)
+        assert dtw_distance(a, b) == pytest.approx(20.0)
+
+    def test_time_warp_invariance(self):
+        """Stretched versions of the same shape align nearly for free."""
+        a = np.array([0.0, 0.0, 5.0, 5.0, 0.0, 0.0])
+        b = np.array([0.0, 5.0, 0.0])
+        assert dtw_distance(a, b) == pytest.approx(0.0)
+
+    def test_euclidean_upper_bound(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        assert dtw_distance(a, b) <= np.abs(a - b).sum() + 1e-9
+
+    @given(floats, floats)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, a, b):
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    @given(floats)
+    @settings(max_examples=30, deadline=None)
+    def test_self_distance_zero_and_nonnegative(self, a):
+        assert dtw_distance(a, a) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.array([1.0]))
+
+    def test_band_constraint(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=30)
+        b = rng.normal(size=30)
+        unconstrained = dtw_distance(a, b)
+        banded = dtw_distance(a, b, band=2)
+        assert banded >= unconstrained - 1e-9
+
+    def test_band_too_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros(10), np.zeros(30), band=5)
+
+    def test_normalized_comparable_across_lengths(self):
+        a = np.sin(np.linspace(0, 6, 50))
+        b = np.sin(np.linspace(0, 6, 100))
+        assert dtw_normalized(a, b) < 0.05

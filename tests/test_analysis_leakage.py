@@ -1,0 +1,70 @@
+"""Tests for the mutual-information leakage estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import leakage_per_feature, mutual_information_bits
+
+
+class TestMutualInformation:
+    def test_perfectly_revealing_feature(self):
+        labels = np.array([0] * 500 + [1] * 500)
+        features = labels * 10.0 + np.random.default_rng(0).normal(0, 0.1, 1000)
+        mi = mutual_information_bits(features, labels)
+        assert mi > 0.9  # ~1 bit for a binary secret
+
+    def test_independent_feature_near_zero(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 1000)
+        features = rng.normal(size=1000)
+        assert mutual_information_bits(features, labels) < 0.05
+
+    def test_bounded_by_label_entropy(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 4, 2000)
+        features = labels + rng.normal(0, 0.01, 2000)
+        mi = mutual_information_bits(features, labels, n_bins=16)
+        assert mi <= 2.0 + 1e-9  # H(label) = 2 bits
+
+    def test_partial_leak_between_extremes(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, 3000)
+        features = labels * 1.0 + rng.normal(0, 1.0, 3000)  # noisy channel
+        mi = mutual_information_bits(features, labels)
+        assert 0.05 < mi < 0.8
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(4)
+        for trial in range(10):
+            labels = rng.integers(0, 3, 60)
+            features = rng.normal(size=60)
+            assert mutual_information_bits(features, labels) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mutual_information_bits(np.zeros(5), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            mutual_information_bits(np.zeros(2), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            mutual_information_bits(np.zeros(10), np.zeros(10, dtype=int), n_bins=1)
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_bin_count_robustness(self, n_bins):
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, 2, 400)
+        features = labels * 5.0 + rng.normal(0, 0.2, 400)
+        assert mutual_information_bits(features, labels, n_bins=n_bins) > 0.5
+
+
+class TestLeakageProfile:
+    def test_locates_leaking_column(self):
+        rng = np.random.default_rng(6)
+        labels = rng.integers(0, 2, 600)
+        matrix = rng.normal(size=(600, 5))
+        matrix[:, 2] += labels * 4.0  # only column 2 leaks
+        profile = leakage_per_feature(matrix, labels)
+        assert profile.argmax() == 2
+        assert profile[2] > 0.5
+        assert np.all(profile[[0, 1, 3, 4]] < 0.1)

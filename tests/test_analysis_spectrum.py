@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import amplitude_spectrum, spectral_energy_spread, spectral_peaks
+
+
+class TestAmplitudeSpectrum:
+    def test_tone_located_and_scaled(self):
+        t = np.arange(1000) * 0.02
+        signal = 5.0 + 2.0 * np.sin(2 * np.pi * 5.0 * t)
+        freqs, mags = amplitude_spectrum(signal, 0.02)
+        peak = freqs[np.argmax(mags)]
+        assert peak == pytest.approx(5.0, abs=0.1)
+        assert mags.max() == pytest.approx(2.0, rel=0.05)
+
+    def test_dc_removed(self):
+        freqs, mags = amplitude_spectrum(np.full(100, 7.0), 0.02)
+        assert np.allclose(mags, 0.0, atol=1e-12)
+        assert freqs[0] > 0
+
+    def test_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            amplitude_spectrum(np.ones(3), 0.02)
+
+    def test_nyquist_limit(self):
+        freqs, _ = amplitude_spectrum(np.zeros(100), 0.02)
+        assert freqs[-1] == pytest.approx(25.0)
+
+
+class TestSpectralPeaks:
+    def test_finds_two_tones_in_order(self):
+        t = np.arange(4000) * 0.02
+        signal = np.sin(2 * np.pi * 3.0 * t) + 0.5 * np.sin(2 * np.pi * 11.0 * t)
+        freqs, mags = amplitude_spectrum(signal, 0.02)
+        peaks = spectral_peaks(freqs, mags)
+        assert peaks[0][0] == pytest.approx(3.0, abs=0.05)
+        assert peaks[1][0] == pytest.approx(11.0, abs=0.05)
+
+    def test_no_peaks_in_white_noise(self):
+        rng = np.random.default_rng(0)
+        freqs, mags = amplitude_spectrum(rng.normal(size=2000), 0.02)
+        assert spectral_peaks(freqs, mags, prominence_factor=10.0) == []
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spectral_peaks(np.arange(5), np.arange(6))
+
+    def test_max_peaks_cap(self):
+        t = np.arange(8000) * 0.02
+        signal = sum(np.sin(2 * np.pi * f * t) for f in range(1, 21))
+        freqs, mags = amplitude_spectrum(signal, 0.02)
+        assert len(spectral_peaks(freqs, mags, max_peaks=5)) == 5
+
+
+class TestSpread:
+    def test_pure_tone_has_no_spread(self):
+        t = np.arange(2000) * 0.02
+        _, mags = amplitude_spectrum(np.sin(2 * np.pi * 4.0 * t), 0.02)
+        assert spectral_energy_spread(mags) < 0.05
+
+    def test_white_noise_fully_spread(self):
+        rng = np.random.default_rng(1)
+        _, mags = amplitude_spectrum(rng.normal(size=4000), 0.02)
+        assert spectral_energy_spread(mags) > 0.9
+
+    def test_zero_signal(self):
+        assert spectral_energy_spread(np.zeros(100)) == 0.0

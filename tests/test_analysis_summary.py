@@ -1,0 +1,94 @@
+"""Tests for repro.analysis.summary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import average_traces, box_stats, distribution_overlap
+
+samples = st.lists(
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False), min_size=4, max_size=200
+)
+
+
+class TestBoxStats:
+    def test_quartiles(self):
+        stats = box_stats(np.arange(1, 102, dtype=float))
+        assert stats.median == pytest.approx(51.0)
+        assert stats.q1 == pytest.approx(26.0)
+        assert stats.q3 == pytest.approx(76.0)
+
+    def test_no_outliers_in_uniform_data(self):
+        assert box_stats(np.arange(100, dtype=float)).n_outliers == 0
+
+    def test_outlier_detected(self):
+        values = np.concatenate([np.random.default_rng(0).normal(0, 1, 200), [50.0]])
+        stats = box_stats(values)
+        assert stats.n_outliers >= 1
+        assert stats.whisker_high < 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats(np.array([]))
+
+    @given(samples)
+    @settings(max_examples=40)
+    def test_invariants(self, values):
+        arr = np.asarray(values)
+        stats = box_stats(arr)
+        assert stats.q1 <= stats.median <= stats.q3
+        # Whiskers reach actual data points inside the fences (they may sit
+        # above an *interpolated* quartile, but never beyond the data).
+        assert arr.min() <= stats.whisker_low <= stats.whisker_high <= arr.max()
+        assert stats.whisker_low <= stats.median <= stats.whisker_high
+        assert stats.iqr >= 0
+        assert 0 <= stats.n_outliers <= arr.size
+
+
+class TestAverageTraces:
+    def test_basic_average(self):
+        out = average_traces([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert np.allclose(out, [2.0, 3.0])
+
+    def test_trims_to_shortest(self):
+        out = average_traces([np.arange(5, dtype=float), np.arange(3, dtype=float)])
+        assert out.size == 3
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            average_traces([])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            average_traces([np.array([])])
+
+    def test_averaging_cancels_independent_noise(self):
+        """The statistical effect Figure 7 relies on."""
+        rng = np.random.default_rng(0)
+        traces = [rng.normal(0, 1, 500) for _ in range(400)]
+        assert average_traces(traces).std() < 0.1
+
+
+class TestDistributionOverlap:
+    def test_identical_distributions(self):
+        values = np.random.default_rng(0).normal(0, 1, 5000)
+        assert distribution_overlap(values, values) == pytest.approx(1.0)
+
+    def test_disjoint_distributions(self):
+        assert distribution_overlap(np.zeros(100), np.full(100, 10.0)) == pytest.approx(
+            0.0, abs=0.05
+        )
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 1000)
+        b = rng.normal(1, 2, 1000)
+        assert distribution_overlap(a, b) == pytest.approx(distribution_overlap(b, a))
+
+    def test_range_bounds(self):
+        rng = np.random.default_rng(2)
+        value = distribution_overlap(rng.normal(0, 1, 300), rng.normal(0.5, 1, 300))
+        assert 0.0 <= value <= 1.0
+
+    def test_constant_samples(self):
+        assert distribution_overlap(np.full(10, 3.0), np.full(10, 3.0)) == 1.0

@@ -1,0 +1,71 @@
+"""Tests for the remote power covert channel (and Maya closing it)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CovertReceiver, CovertSender, random_bits
+from repro.core.runtime import run_session
+from repro.defenses import Baseline, MayaDefense
+from repro.machine import SYS1, SimulatedMachine, spawn
+
+
+def transmit(defense, bits, seed=33, run_id="covert"):
+    sender = CovertSender(bits)
+    machine = SimulatedMachine(
+        SYS1, sender.program(), seed=seed, run_id=run_id, workload_jitter=0.0
+    )
+    trace = run_session(machine, defense, seed=seed, run_id=run_id,
+                        duration_s=sender.duration_s)
+    return CovertReceiver(SYS1, seed=seed, run_id=run_id).decode(trace, sender)
+
+
+class TestSender:
+    def test_bit_validation(self):
+        with pytest.raises(ValueError):
+            CovertSender(np.array([0, 2]))
+        with pytest.raises(ValueError):
+            CovertSender(np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            CovertSender(np.array([0, 1]), bit_period_s=0.0)
+
+    def test_program_encodes_bits_as_activity(self):
+        bits = np.array([1, 0, 1])
+        program = CovertSender(bits).program()
+        assert len(program.phases) == 3
+        assert program.phases[0].activity > program.phases[1].activity
+
+    def test_duration(self):
+        assert CovertSender(np.array([0, 1] * 5), bit_period_s=0.5).duration_s == 5.0
+
+
+class TestRandomBits:
+    def test_balanced(self):
+        bits = random_bits(40, spawn(1, "bits"))
+        assert bits.sum() == 20
+
+    def test_minimum_length(self):
+        with pytest.raises(ValueError):
+            random_bits(1, spawn(1, "bits"))
+
+
+class TestChannel:
+    def test_channel_open_against_baseline(self):
+        """The remote attack works on an undefended machine."""
+        bits = random_bits(40, spawn(2, "payload"))
+        result = transmit(Baseline(), bits)
+        assert result.bit_error_rate < 0.05
+        assert not result.channel_closed
+
+    def test_maya_gs_closes_channel(self, sys1_design):
+        """The Section I result: deploying Maya thwarts the covert channel."""
+        bits = random_bits(40, spawn(2, "payload"))
+        result = transmit(MayaDefense(sys1_design), bits)
+        assert result.channel_closed
+        assert 0.3 <= result.bit_error_rate <= 0.7  # coin flipping
+
+    def test_result_bookkeeping(self):
+        bits = random_bits(20, spawn(3, "payload"))
+        result = transmit(Baseline(), bits)
+        assert result.n_bits == 20
+        assert np.array_equal(result.sent, bits)
+        assert result.received.shape == bits.shape

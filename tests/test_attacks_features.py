@@ -1,0 +1,138 @@
+"""Tests for repro.attacks.features (the attacker's preprocessing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks import FeatureConfig, TraceFeaturizer, segment_trace
+
+
+class TestSegmentTrace:
+    def test_non_overlapping_default(self):
+        segments = segment_trace(np.arange(10, dtype=float), 3)
+        assert segments.shape == (3, 3)
+        assert np.array_equal(segments[1], [3.0, 4.0, 5.0])
+
+    def test_overlapping_stride(self):
+        segments = segment_trace(np.arange(10, dtype=float), 4, stride=2)
+        assert segments.shape == (4, 4)
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            segment_trace(np.arange(3, dtype=float), 10)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            segment_trace(np.arange(10, dtype=float), 0)
+        with pytest.raises(ValueError):
+            segment_trace(np.arange(10, dtype=float), 3, stride=0)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30)
+    def test_segments_are_views_of_trace(self, seg_len, stride):
+        trace = np.arange(100, dtype=float)
+        segments = segment_trace(trace, seg_len, stride)
+        for k, segment in enumerate(segments):
+            start = k * stride
+            assert np.array_equal(segment, trace[start:start + seg_len])
+
+
+class TestFeatureConfig:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            FeatureConfig(mode="wavelet")
+
+    def test_pool_longer_than_segment(self):
+        with pytest.raises(ValueError):
+            FeatureConfig(segment_len=4, pool=8)
+
+    def test_level_minimum(self):
+        with pytest.raises(ValueError):
+            FeatureConfig(n_levels=1)
+
+
+class TestOnehotFeatures:
+    def featurizer(self, segment_len=50, pool=5, n_levels=10):
+        return TraceFeaturizer(
+            FeatureConfig(mode="onehot", segment_len=segment_len, pool=pool, n_levels=n_levels)
+        )
+
+    def test_feature_dimension(self):
+        f = self.featurizer()
+        assert f.n_features == (50 // 5) * 10
+
+    def test_one_hot_rows_sum_to_pooled_count(self):
+        f = self.featurizer()
+        rng = np.random.default_rng(0)
+        segments = rng.uniform(10, 30, size=(8, 50))
+        x = f.fit_transform(segments)
+        assert np.allclose(x.sum(axis=1), 10)  # one hot level per pooled point
+        assert set(np.unique(x)) <= {0.0, 1.0}
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            self.featurizer().transform(np.zeros((2, 50)))
+
+    def test_quantization_bounds_learned_from_training(self):
+        f = self.featurizer()
+        train = np.random.default_rng(1).uniform(10, 20, size=(20, 50))
+        f.fit(train)
+        # Out-of-range test data clamps to the extreme levels, not crash.
+        hot = f.transform(np.full((1, 50), 99.0))
+        assert hot.sum() == 10
+
+    def test_monotone_level_mapping(self):
+        f = self.featurizer(segment_len=5, pool=5, n_levels=4)
+        f.fit(np.linspace(0, 30, 100).reshape(4, 25)[:, :5])
+        low = f.transform(np.full((1, 5), 1.0)).argmax()
+        high = f.transform(np.full((1, 5), 29.0)).argmax()
+        assert high > low
+
+    def test_wrong_segment_length_rejected(self):
+        f = self.featurizer()
+        f.fit(np.zeros((2, 50)))
+        with pytest.raises(ValueError):
+            f.transform(np.zeros((2, 49)))
+
+
+class TestFftFeatures:
+    def featurizer(self, segment_len=128, fft_bins=32):
+        return TraceFeaturizer(
+            FeatureConfig(mode="fft", segment_len=segment_len, fft_bins=fft_bins)
+        )
+
+    def test_feature_dimension(self):
+        assert self.featurizer().n_features == 32
+
+    def test_unit_norm(self):
+        f = self.featurizer()
+        rng = np.random.default_rng(2)
+        x = f.fit_transform(rng.normal(size=(6, 128)))
+        assert np.allclose(np.linalg.norm(x, axis=1), 1.0)
+
+    def test_scale_insensitivity(self):
+        """The FFT attacker cares about shape, not absolute watts.
+
+        With log magnitudes the invariance is approximate rather than
+        exact: a 7.5x power rescale must barely rotate the feature vector.
+        """
+        f = self.featurizer()
+        rng = np.random.default_rng(3)
+        seg = 5.0 * rng.normal(size=(1, 128))
+        f.fit(seg)
+        a = f.transform(seg)[0]
+        b = f.transform(seg * 7.5)[0]
+        cosine = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        assert cosine > 0.98
+
+    def test_tone_maps_to_single_bin(self):
+        f = self.featurizer()
+        t = np.arange(128)
+        seg = np.sin(2 * np.pi * t * 8 / 128)[None, :]
+        x = f.fit_transform(seg)
+        assert x[0].argmax() == 7  # bin 8, minus the dropped DC bin
+        assert x[0].max() > 0.95
+
+    def test_bins_capped_by_nyquist(self):
+        f = TraceFeaturizer(FeatureConfig(mode="fft", segment_len=20, fft_bins=64))
+        assert f.n_features == 10

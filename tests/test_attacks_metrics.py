@@ -1,0 +1,61 @@
+"""Tests for repro.attacks.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks import ConfusionResult, confusion_matrix
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_is_identity(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert np.array_equal(confusion_matrix(y, y, 3), np.eye(3))
+
+    def test_rows_normalized(self):
+        y_true = np.array([0, 0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(y_true, y_pred, 2)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert matrix[0, 1] == pytest.approx(2 / 3)
+
+    def test_absent_class_row_zero(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]), 3)
+        assert np.allclose(matrix[1], 0.0)
+        assert np.allclose(matrix[2], 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]), 2)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=5, max_size=100)
+    )
+    @settings(max_examples=30)
+    def test_rows_sum_to_one_or_zero(self, labels):
+        y_true = np.asarray(labels)
+        rng = np.random.default_rng(0)
+        y_pred = rng.integers(0, 5, size=y_true.size)
+        matrix = confusion_matrix(y_true, y_pred, 5)
+        sums = matrix.sum(axis=1)
+        assert np.all((np.isclose(sums, 1.0)) | (sums == 0.0))
+
+
+class TestConfusionResult:
+    def result(self):
+        matrix = confusion_matrix(
+            np.array([0, 0, 1, 1, 2, 2]), np.array([0, 0, 1, 0, 2, 1]), 3
+        )
+        return ConfusionResult(matrix, ("a", "b", "c"))
+
+    def test_average_accuracy_is_diagonal_mean(self):
+        result = self.result()
+        assert result.average_accuracy == pytest.approx((1.0 + 0.5 + 0.5) / 3)
+
+    def test_chance(self):
+        assert self.result().chance_accuracy == pytest.approx(1 / 3)
+
+    def test_formatted_output_contains_accuracy(self):
+        text = self.result().formatted()
+        assert "average accuracy: 67%" in text
+        assert "chance 33%" in text

@@ -1,0 +1,97 @@
+"""Tests for the Gaussian template attacker."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import GaussianTemplateClassifier
+from repro.core.runtime import make_machine, run_session
+from repro.defenses import Baseline, MayaDefense
+from repro.machine import SYS1, RaplSensor, spawn
+from repro.workloads import parsec_program
+
+
+def gaussian_blobs(seed=0, n=60, gap=3.0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([0, 0], 1.0, size=(n, 2))
+    b = rng.normal([gap, 0], 1.0, size=(n, 2))
+    x = np.vstack([a, b])
+    y = np.array([0] * n + [1] * n)
+    return x, y
+
+
+class TestClassifier:
+    def test_separable_blobs(self):
+        x, y = gaussian_blobs()
+        clf = GaussianTemplateClassifier().fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_uses_covariance_shape(self):
+        """Classes with equal means but different variances are separable
+        by templates (nearest-mean could not do this)."""
+        rng = np.random.default_rng(1)
+        tight = rng.normal(0, 0.3, size=(200, 3))
+        wide = rng.normal(0, 3.0, size=(200, 3))
+        x = np.vstack([tight, wide])
+        y = np.array([0] * 200 + [1] * 200)
+        clf = GaussianTemplateClassifier(shrinkage=0.05).fit(x, y)
+        assert clf.score(x, y) > 0.85
+
+    def test_log_likelihood_shape(self):
+        x, y = gaussian_blobs()
+        clf = GaussianTemplateClassifier().fit(x, y)
+        assert clf.log_likelihood(x[:5]).shape == (5, 2)
+
+    def test_chance_on_random_labels(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 4))
+        y = rng.integers(0, 2, size=200)
+        x_test = rng.normal(size=(200, 4))
+        y_test = rng.integers(0, 2, size=200)
+        clf = GaussianTemplateClassifier().fit(x, y)
+        assert abs(clf.score(x_test, y_test) - 0.5) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianTemplateClassifier(shrinkage=2.0)
+        with pytest.raises(ValueError):
+            GaussianTemplateClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            GaussianTemplateClassifier().fit(np.zeros((2, 2)), np.array([0, 1]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianTemplateClassifier().predict(np.zeros((1, 2)))
+
+
+class TestTemplateAttackOnTraces:
+    """A second, independent adversary confirming the headline result."""
+
+    def collect(self, defense_factory, defense_name, apps, runs=10):
+        features, labels = [], []
+        for label, app in enumerate(apps):
+            for run in range(runs):
+                run_id = ("template", defense_name, app, run)
+                machine = make_machine(SYS1, parsec_program(app), seed=51,
+                                       run_id=run_id)
+                trace = run_session(machine, defense_factory(run_id), seed=51,
+                                    run_id=run_id, duration_s=8.0)
+                sensor = RaplSensor(SYS1, spawn(51, "tmpl-sensor", run_id))
+                sampled = sensor.sample_trace(trace.power_w, trace.tick_s, 0.020)
+                # Coarse statistical features: windowed means.
+                features.append(sampled.reshape(8, -1).mean(axis=1))
+                labels.append(label)
+        return np.asarray(features), np.asarray(labels)
+
+    def test_template_attack_beats_baseline_loses_to_maya(self, sys1_design):
+        apps = ("volrend", "water_nsquared")
+
+        x, y = self.collect(lambda r: Baseline(), "baseline", apps)
+        baseline_clf = GaussianTemplateClassifier().fit(x[::2], y[::2])
+        baseline_acc = baseline_clf.score(x[1::2], y[1::2])
+
+        x, y = self.collect(lambda r: MayaDefense(sys1_design), "maya_gs", apps)
+        gs_clf = GaussianTemplateClassifier().fit(x[::2], y[::2])
+        gs_acc = gs_clf.score(x[1::2], y[1::2])
+
+        assert baseline_acc > 0.9
+        assert gs_acc < 0.75  # chance is 0.5

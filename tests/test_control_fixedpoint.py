@@ -1,0 +1,81 @@
+"""Tests for the firmware-grade fixed-point controller (Section VII-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control import FixedPointController, FixedPointFormat, StateSpace
+
+
+class TestFormat:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=40, fraction_bits=40)
+
+    def test_quantize_roundtrip_error_bounded(self):
+        fmt = FixedPointFormat(integer_bits=7, fraction_bits=16)
+        values = np.array([0.123456, -3.14159, 100.0, -200.0])
+        recovered = fmt.to_float(fmt.quantize(values))
+        clipped = np.clip(values, -fmt.max_value, fmt.max_value)
+        assert np.all(np.abs(recovered - clipped) <= 2.0**-16)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=40)
+    def test_quantization_error_half_ulp(self, value):
+        fmt = FixedPointFormat(integer_bits=7, fraction_bits=20)
+        recovered = float(fmt.to_float(fmt.quantize(np.array([value])))[0])
+        assert abs(recovered - value) <= 2.0**-21 + 1e-12
+
+    def test_multiply_matches_float_for_exact_values(self):
+        fmt = FixedPointFormat(integer_bits=7, fraction_bits=16)
+        a = fmt.quantize(np.array([[0.5, 0.25]]))
+        b = fmt.quantize(np.array([[2.0], [4.0]]))
+        out = fmt.to_float(fmt.multiply(a, b))
+        assert out[0, 0] == pytest.approx(2.0)
+
+
+class TestFixedPointController:
+    def test_matches_float_equation1(self, sys1_design):
+        """The Q7.24 controller reproduces the float controller's outputs."""
+        matrices = sys1_design.controller.as_equation1()
+        fixed = FixedPointController(matrices)
+        state = np.zeros(matrices.n_states)
+        rng = np.random.default_rng(0)
+        worst = 0.0
+        for _ in range(300):
+            error = float(rng.uniform(-0.3, 0.3))
+            state, u_float = matrices.step(state, np.array([error]))
+            u_fixed = fixed.step(error)
+            worst = max(worst, float(np.max(np.abs(u_fixed - u_float))))
+        assert worst < 1e-3  # far below one actuator quantization step
+
+    def test_storage_under_1kb(self, sys1_design):
+        fixed = FixedPointController(sys1_design.controller.as_equation1())
+        assert fixed.storage_bytes() < 1024
+
+    def test_quantization_error_reported(self, sys1_design):
+        fixed = FixedPointController(sys1_design.controller.as_equation1())
+        assert 0.0 <= fixed.max_quantization_error() <= 2.0**-24 + 1e-12
+
+    def test_reset(self, sys1_design):
+        fixed = FixedPointController(sys1_design.controller.as_equation1())
+        fixed.step(0.2)
+        fixed.reset()
+        assert np.all(fixed._x == 0)
+
+    def test_coarse_format_degrades_gracefully(self, sys1_design):
+        """Even Q7.12 tracks the float controller on zero-mean errors."""
+        matrices = sys1_design.controller.as_equation1()
+        fixed = FixedPointController(matrices, FixedPointFormat(7, 12))
+        state = np.zeros(matrices.n_states)
+        rng = np.random.default_rng(1)
+        worst = 0.0
+        for _ in range(200):
+            error = float(rng.uniform(-0.2, 0.2))
+            state, u_float = matrices.step(state, np.array([error]))
+            u_fixed = fixed.step(error)
+            worst = max(worst, float(np.max(np.abs(u_fixed - u_float))))
+        assert np.isfinite(worst)
+        assert worst < 0.05  # coarse but still below one balloon step

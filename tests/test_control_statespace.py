@@ -1,0 +1,92 @@
+"""Tests for repro.control.statespace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control import StateSpace
+
+
+def scalar_lag(a=0.5, b=1.0):
+    """y(T+1) = a y(T) + b u(T), observed directly."""
+    return StateSpace([[a]], [[b]], [[1.0]], [[0.0]])
+
+
+class TestValidation:
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            StateSpace(np.zeros((2, 3)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            StateSpace(np.zeros((2, 2)), np.zeros((3, 1)), np.zeros((1, 2)), np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            StateSpace(np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((1, 3)), np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            StateSpace(np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((2, 2)))
+
+    def test_shapes_exposed(self):
+        ss = StateSpace(np.eye(3) * 0.1, np.ones((3, 2)), np.ones((1, 3)), np.zeros((1, 2)))
+        assert (ss.n_states, ss.n_inputs, ss.n_outputs) == (3, 2, 1)
+
+
+class TestStability:
+    def test_stable_system(self):
+        assert scalar_lag(0.9).is_stable()
+
+    def test_unstable_system(self):
+        assert not scalar_lag(1.1).is_stable()
+
+    def test_integrator_is_marginal(self):
+        assert not scalar_lag(1.0).is_stable()
+
+    def test_spectral_radius(self):
+        assert scalar_lag(-0.7).spectral_radius() == pytest.approx(0.7)
+
+
+class TestSimulation:
+    def test_step_response_converges_to_dc_gain(self):
+        ss = scalar_lag(0.5, 1.0)
+        outputs = ss.simulate(np.ones((100, 1)))
+        assert outputs[-1, 0] == pytest.approx(ss.dc_gain()[0, 0], abs=1e-6)
+
+    def test_dc_gain_scalar_lag(self):
+        assert scalar_lag(0.5, 1.0).dc_gain()[0, 0] == pytest.approx(2.0)
+
+    def test_feedthrough(self):
+        ss = StateSpace([[0.0]], [[0.0]], [[0.0]], [[3.0]])
+        outputs = ss.simulate(np.array([[1.0], [2.0]]))
+        assert np.allclose(outputs[:, 0], [3.0, 6.0])
+
+    def test_zero_input_zero_state_stays_zero(self):
+        outputs = scalar_lag().simulate(np.zeros((10, 1)))
+        assert np.allclose(outputs, 0.0)
+
+    def test_initial_state_decays(self):
+        ss = scalar_lag(0.5)
+        outputs = ss.simulate(np.zeros((5, 1)), initial_state=[8.0])
+        assert np.allclose(outputs[:, 0], [8.0, 4.0, 2.0, 1.0, 0.5])
+
+    def test_input_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            scalar_lag().simulate(np.zeros((5, 2)))
+
+    @given(st.floats(min_value=-5, max_value=5), st.floats(min_value=-5, max_value=5))
+    @settings(max_examples=25)
+    def test_linearity(self, alpha, beta):
+        ss = StateSpace([[0.6, 0.1], [0.0, 0.4]], [[1.0], [0.5]], [[1.0, 1.0]], [[0.2]])
+        rng = np.random.default_rng(0)
+        u1 = rng.normal(size=(20, 1))
+        u2 = rng.normal(size=(20, 1))
+        combined = ss.simulate(alpha * u1 + beta * u2)
+        separate = alpha * ss.simulate(u1) + beta * ss.simulate(u2)
+        assert np.allclose(combined, separate, atol=1e-9)
+
+
+class TestCostAccounting:
+    def test_storage_counts_all_matrices_plus_state(self):
+        ss = scalar_lag()
+        # 4 matrix elements + 1 state element, 4 bytes each.
+        assert ss.storage_bytes() == 5 * 4
+
+    def test_operations_count(self):
+        ss = scalar_lag()
+        assert ss.operations_per_step() == 8

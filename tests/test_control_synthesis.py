@@ -1,0 +1,69 @@
+"""Tests for repro.control.synthesis (LQG servo design)."""
+
+import numpy as np
+import pytest
+
+from repro.control import SynthesisSpec, design_controller
+
+
+class TestSynthesisSpec:
+    def test_defaults_match_paper(self):
+        spec = SynthesisSpec()
+        assert spec.input_weights == (1.0, 1.0, 1.0)
+        assert spec.guardband == pytest.approx(0.4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"guardband": 1.0},
+            {"guardband": -0.1},
+            {"input_weights": (1.0, 0.0, 1.0)},
+            {"output_weight": 0.0},
+            {"integrator_weight": -1.0},
+        ],
+    )
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SynthesisSpec(**kwargs)
+
+
+class TestDesignedController:
+    def test_controller_dimension_is_paper_11(self, sys1_design):
+        assert sys1_design.controller.n_states == 11
+
+    def test_closed_loop_stable(self, sys1_design):
+        assert sys1_design.controller.is_stable()
+
+    def test_equation1_matrices_shape(self, sys1_design):
+        eq1 = sys1_design.controller.as_equation1()
+        assert eq1.n_states == 11
+        assert eq1.n_inputs == 1   # the deviation e
+        assert eq1.n_outputs == 3  # dvfs, idle, balloon commands
+
+    def test_controller_storage_below_1kb(self, sys1_design):
+        # Section VII-E: the controller needs less than 1 KB of storage.
+        assert sys1_design.controller.as_equation1().storage_bytes() < 1024
+
+    def test_closed_loop_tracks_step_offset_free(self, sys1_design):
+        """Integral action: the nominal closed loop settles on the target."""
+        cl = sys1_design.controller.closed_loop()
+        outputs = cl.simulate(np.full((400, 1), 0.1))
+        assert outputs[-1, 0] == pytest.approx(0.1, abs=0.005)
+
+    def test_higher_guardband_lowers_gain(self, sys1_design):
+        plant = sys1_design.plant
+        tame = design_controller(plant, SynthesisSpec(guardband=0.6))
+        sharp = design_controller(plant, SynthesisSpec(guardband=0.1))
+        assert np.linalg.norm(tame.k_x) < np.linalg.norm(sharp.k_x)
+
+    def test_kalman_gains_consistent(self, sys1_design):
+        design = sys1_design.controller
+        assert np.allclose(design.l_gain, design.plant_ss.a @ design.m_gain)
+
+    def test_closed_loop_rejects_output_disturbance(self, sys1_design):
+        """A step disturbance on the measurement is integrated away."""
+        cl = sys1_design.controller.closed_loop()
+        # r = 0 but y is biased: equivalent to tracking r = -bias; the loop
+        # output converges, meaning the physical power converges to target.
+        outputs = cl.simulate(np.concatenate([np.zeros((50, 1)), np.full((300, 1), 0.05)]))
+        assert outputs[-1, 0] == pytest.approx(0.05, abs=0.005)

@@ -1,0 +1,71 @@
+"""Tests for repro.control.sysid (Section V-A identification)."""
+
+import numpy as np
+import pytest
+
+from repro.control import identify_plant, run_excitation, training_programs
+from repro.machine import SYS1
+
+
+class TestTrainingPrograms:
+    def test_four_training_apps(self):
+        names = [p.name for p in training_programs()]
+        assert names == ["swaptions", "ferret", "barnes", "raytrace_train"]
+
+    def test_distinct_from_attack_targets(self):
+        from repro.workloads import PARSEC_APPS
+
+        for program in training_programs():
+            assert program.name not in PARSEC_APPS
+
+
+class TestExcitation:
+    def test_record_shapes(self):
+        record = run_excitation(SYS1, training_programs()[0], seed=9, n_intervals=120)
+        assert record.u_norm.shape == (120, 3)
+        assert record.y_norm.shape == (120,)
+
+    def test_inputs_normalized(self):
+        record = run_excitation(SYS1, training_programs()[0], seed=9, n_intervals=120)
+        assert record.u_norm.min() >= 0.0
+        assert record.u_norm.max() <= 1.0
+
+    def test_excitation_explores_input_space(self):
+        record = run_excitation(SYS1, training_programs()[0], seed=9, n_intervals=300)
+        for column in range(3):
+            assert record.u_norm[:, column].std() > 0.2
+
+    def test_outputs_are_tdp_normalized(self):
+        record = run_excitation(SYS1, training_programs()[0], seed=9, n_intervals=120)
+        assert 0.0 < record.y_norm.mean() < 1.0
+
+
+class TestIdentifiedPlant:
+    @pytest.fixture(scope="class")
+    def plant(self):
+        return identify_plant(SYS1, seed=9, n_intervals=300)
+
+    def test_fit_quality(self, plant):
+        # The ARX model must explain the excitation data well.
+        assert plant.fit_r2 > 0.8
+
+    def test_dc_gain_signs(self, plant):
+        signs = plant.input_power_signs()
+        # DVFS and balloon raise power; idle injection lowers it.
+        assert signs[0] > 0
+        assert signs[1] < 0
+        assert signs[2] > 0
+
+    def test_statespace_dimension(self, plant):
+        # na=4, nb=3, 3 inputs -> 4 + 2*3 = 10 plant states.
+        assert plant.statespace().n_states == 10
+
+    def test_plant_model_stable(self, plant):
+        assert plant.statespace().is_stable()
+
+    def test_power_normalization_roundtrip(self, plant):
+        power = 17.5
+        assert plant.denormalize_power(plant.normalize_power(power)) == pytest.approx(power)
+
+    def test_interval_recorded(self, plant):
+        assert plant.interval_s == pytest.approx(0.020)

@@ -1,0 +1,80 @@
+"""Tests for selective Maya activation (Section V overhead reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import make_machine, run_session
+from repro.defenses import Baseline, MayaDefense, SelectiveMaya
+from repro.machine import SYS1
+from repro.workloads import parsec_program
+
+
+def run_with(defense, app="bodytrack", run_id="sel", duration=16.0, seed=41):
+    machine = make_machine(SYS1, parsec_program(app), seed=seed, run_id=run_id)
+    return run_session(machine, defense, seed=seed, run_id=run_id,
+                       duration_s=duration)
+
+
+class TestSelectiveMaya:
+    def test_window_validation(self, sys1_design):
+        with pytest.raises(ValueError):
+            SelectiveMaya(sys1_design, start_s=5.0, stop_s=5.0)
+        with pytest.raises(ValueError):
+            SelectiveMaya(sys1_design, start_s=-1.0, stop_s=5.0)
+
+    def test_full_performance_outside_window(self, sys1_design):
+        trace = run_with(SelectiveMaya(sys1_design, start_s=6.0, stop_s=10.0))
+        before = trace.settings[: int(5.5 / 0.02)]
+        # Outside the window: max frequency, no idle, no balloon.
+        assert np.all(before[:, 0] == SYS1.freq_max_ghz)
+        assert np.all(before[:, 1] == 0.0)
+        assert np.all(before[:, 2] == 0.0)
+
+    def test_mask_tracked_inside_window(self, sys1_design):
+        trace = run_with(SelectiveMaya(sys1_design, start_s=6.0, stop_s=14.0))
+        inside = slice(int(7.0 / 0.02), int(13.5 / 0.02))
+        targets = trace.target_w[inside]
+        measured = trace.measured_w[inside]
+        assert np.all(np.isfinite(targets))
+        assert np.mean(np.abs(targets - measured)) < 2.5
+
+    def test_no_target_outside_window(self, sys1_design):
+        trace = run_with(SelectiveMaya(sys1_design, start_s=6.0, stop_s=10.0))
+        assert np.all(np.isnan(trace.target_w[: int(5.5 / 0.02)]))
+        assert np.all(np.isnan(trace.target_w[int(11.0 / 0.02):]))
+
+    def test_lower_overhead_than_full_maya(self, sys1_design):
+        """The point of selective activation: protect less, pay less."""
+        def completion(defense, run_id):
+            machine = make_machine(SYS1, parsec_program("bodytrack"),
+                                   seed=41, run_id=run_id)
+            trace = run_session(machine, defense, seed=41, run_id=run_id,
+                                duration_s=None, max_duration_s=150.0, tail_s=0.2)
+            return trace.completed_at_s
+
+        full = completion(MayaDefense(sys1_design), "sel-full")
+        selective = completion(SelectiveMaya(sys1_design, 5.0, 15.0), "sel-part")
+        baseline = completion(Baseline(), "sel-base")
+        assert baseline < selective < full
+
+    def test_platform_mismatch_rejected(self, sys1_design):
+        from repro.machine import SYS2
+        defense = SelectiveMaya(sys1_design, 1.0, 2.0)
+        machine = make_machine(SYS2, parsec_program("bodytrack"), seed=41, run_id=0)
+        with pytest.raises(ValueError):
+            defense.prepare(machine, np.random.default_rng(0))
+
+    def test_obfuscation_limited_to_window(self, sys1_design):
+        """Power correlates with the app outside the window, not inside."""
+        selective = run_with(SelectiveMaya(sys1_design, 8.0, 16.0), run_id="sel-c")
+        baseline = run_with(Baseline(), run_id="sel-c")
+        outside = slice(0, int(7.0 / 0.02))
+        inside = slice(int(9.0 / 0.02), int(15.5 / 0.02))
+
+        def corr(a, b):
+            return abs(float(np.corrcoef(a, b)[0, 1]))
+
+        corr_outside = corr(selective.measured_w[outside], baseline.measured_w[outside])
+        corr_inside = corr(selective.measured_w[inside], baseline.measured_w[inside])
+        assert corr_outside > 0.5
+        assert corr_inside < 0.35

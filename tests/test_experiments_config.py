@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.config and common helpers."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, SCALES, get_scale
+from repro.experiments.common import attack_scenario, experiment_apps
+from repro.machine import SYS1
+from repro.workloads import PARSEC_APPS
+
+
+class TestScales:
+    def test_three_scales(self):
+        assert set(SCALES) == {"smoke", "default", "full"}
+
+    def test_scales_ordered_by_cost(self):
+        assert (
+            SCALES["smoke"].runs_per_class
+            < SCALES["default"].runs_per_class
+            < SCALES["full"].runs_per_class
+        )
+
+    def test_get_scale_by_name_and_identity(self):
+        assert get_scale("smoke") is SCALES["smoke"]
+        assert get_scale(SCALES["full"]) is SCALES["full"]
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("gigantic")
+
+
+class TestExperimentApps:
+    def test_default_scale_uses_all_eleven(self):
+        assert experiment_apps(get_scale("default")) == PARSEC_APPS
+
+    def test_smoke_scale_spreads_power_range(self):
+        apps = experiment_apps(get_scale("smoke"))
+        assert len(apps) == 4
+        # Must include both extremes of the power spread.
+        assert "volrend" in apps
+        assert "water_nsquared" in apps
+
+    def test_label_order_preserved(self):
+        apps = experiment_apps(get_scale("smoke"))
+        indices = [PARSEC_APPS.index(app) for app in apps]
+        assert indices == sorted(indices)
+
+
+class TestAttackScenarioHelper:
+    def test_scale_fields_applied(self):
+        scale = get_scale("smoke")
+        scenario = attack_scenario(
+            "t", SYS1, ("volrend", "vips"), "baseline", scale, seed=3
+        )
+        assert scenario.runs_per_class == scale.runs_per_class
+        assert scenario.duration_s == scale.duration_s
+        assert scenario.mlp.hidden_sizes == scale.mlp_hidden
+
+    def test_overrides_win(self):
+        scenario = attack_scenario(
+            "t", SYS1, ("volrend", "vips"), "baseline", get_scale("smoke"),
+            duration_s=99.0, pool=20,
+        )
+        assert scenario.duration_s == 99.0
+        assert scenario.pool == 20
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        for key in ("fig03", "fig04", "fig06", "fig07", "fig08", "fig09",
+                    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+                    "sec7e", "tab02"):
+            assert key in EXPERIMENTS
+            assert hasattr(EXPERIMENTS[key], "run")

@@ -1,0 +1,67 @@
+"""Unit tests for Figure 11's internal reconstruction/scoring helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig11_changepoints import (
+    COMPLETION_Z_THRESHOLD,
+    _completion_score,
+    _true_boundaries,
+)
+from repro.core.runtime import make_machine, run_session
+from repro.defenses import Baseline
+from repro.machine import SYS1
+from repro.workloads import parsec_program
+
+
+class TestTrueBoundaries:
+    def test_baseline_boundaries_match_nominal_times(self):
+        """At max performance with no jitter, work time == wall time."""
+        machine = make_machine(SYS1, parsec_program("blackscholes"),
+                               seed=61, run_id="tb", workload_jitter=0.0)
+        trace = run_session(machine, Baseline(), seed=61, run_id="tb",
+                            duration_s=None, max_duration_s=60.0, tail_s=1.0)
+        boundaries = _true_boundaries(trace, machine.workload)
+        nominal = machine.workload.phase_boundaries()
+        assert boundaries.size == nominal.size
+        assert np.allclose(boundaries, nominal, atol=0.05)
+
+    def test_last_boundary_is_completion(self):
+        machine = make_machine(SYS1, parsec_program("bodytrack"),
+                               seed=61, run_id="tb2", workload_jitter=0.0)
+        trace = run_session(machine, Baseline(), seed=61, run_id="tb2",
+                            duration_s=None, max_duration_s=60.0, tail_s=1.0)
+        boundaries = _true_boundaries(trace, machine.workload)
+        assert boundaries[-1] == pytest.approx(trace.completed_at_s, abs=0.05)
+
+
+class TestCompletionScore:
+    def test_level_drop_scores_high(self):
+        rng = np.random.default_rng(0)
+        running = rng.normal(20.0, 0.5, 2000)
+        idle = rng.normal(5.0, 0.5, 400)
+        samples = np.concatenate([running, idle])
+        score = _completion_score(samples, 0.02, t_complete=2000 * 0.02)
+        assert score > COMPLETION_Z_THRESHOLD
+
+    def test_no_change_scores_low(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(20.0, 1.0, 2400)
+        score = _completion_score(samples, 0.02, t_complete=2000 * 0.02)
+        assert score < COMPLETION_Z_THRESHOLD
+
+    def test_unknown_completion_scores_zero(self):
+        assert _completion_score(np.ones(1000), 0.02, float("nan")) == 0.0
+
+    def test_completion_too_close_to_trace_end(self):
+        samples = np.ones(500)
+        assert _completion_score(samples, 0.02, t_complete=499 * 0.02) == 0.0
+
+    def test_mask_like_variation_not_flagged(self):
+        """Target-following wiggle (what GS looks like) scores low even
+        though its variance is high."""
+        rng = np.random.default_rng(2)
+        t = np.arange(3000)
+        samples = 17 + 4 * np.sin(2 * np.pi * t / 90) + rng.normal(0, 1.5, 3000)
+        score = _completion_score(samples, 0.02, t_complete=2400 * 0.02)
+        assert score < COMPLETION_Z_THRESHOLD

@@ -1,0 +1,107 @@
+"""Integration tests: the headline security property, end to end.
+
+These run a miniature version of the Figure 6 attack (two maximally
+different applications, small MLP) against the Baseline and against Maya GS,
+asserting the paper's core claim: the attacker wins without Maya and drops
+to chance with it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackScenario, run_attack
+from repro.attacks.mlp import MLPConfig
+from repro.core.runtime import make_machine, run_session
+from repro.defenses import MayaDefense
+from repro.machine import SYS1, RaplSensor, spawn
+from repro.workloads import parsec_program
+
+
+def scenario(defense, seed=17):
+    return AttackScenario(
+        name="integration",
+        spec=SYS1,
+        class_workloads=("volrend", "water_nsquared"),
+        defense=defense,
+        runs_per_class=10,
+        duration_s=10.0,
+        segment_duration_s=8.0,
+        segment_stride_s=1.0,
+        pool=20,
+        mlp=MLPConfig(hidden_sizes=(64,), max_epochs=30),
+        seed=seed,
+    )
+
+
+class TestHeadlineClaim:
+    def test_attacker_wins_against_baseline(self, sys1_factory):
+        outcome = run_attack(scenario("baseline"), sys1_factory)
+        assert outcome.average_accuracy > 0.9
+
+    def test_maya_gs_drops_attacker_to_chance(self, sys1_factory):
+        outcome = run_attack(scenario("maya_gs"), sys1_factory)
+        assert outcome.average_accuracy < 0.75  # chance is 0.5
+
+    def test_ordering_baseline_vs_gs(self, sys1_factory):
+        base = run_attack(scenario("baseline"), sys1_factory)
+        gs = run_attack(scenario("maya_gs"), sys1_factory)
+        assert gs.average_accuracy < base.average_accuracy - 0.2
+
+
+class TestObfuscationMechanics:
+    def test_gs_power_uncorrelated_with_app_activity(self, sys1_design):
+        """The defended trace must not follow the app's own shape."""
+        def record(defense_name, defense, run_id):
+            machine = make_machine(SYS1, parsec_program("bodytrack"),
+                                   seed=23, run_id=run_id)
+            return run_session(machine, defense, seed=23, run_id=run_id,
+                               duration_s=12.0)
+
+        from repro.defenses import Baseline
+
+        base = record("baseline", Baseline(), "obf-base")
+        defended = record("maya_gs", MayaDefense(sys1_design), "obf-gs")
+        n = min(base.n_intervals, defended.n_intervals)
+        corr = np.corrcoef(base.measured_w[:n], defended.measured_w[:n])[0, 1]
+        assert abs(corr) < 0.25
+
+    def test_two_gs_runs_are_mutually_uncorrelated(self, sys1_design):
+        """Each run uses fresh mask randomness (Section IV-C)."""
+        traces = []
+        for run in range(2):
+            machine = make_machine(SYS1, parsec_program("bodytrack"),
+                                   seed=23, run_id=("unc", run))
+            traces.append(run_session(machine, MayaDefense(sys1_design),
+                                      seed=23, run_id=("unc", run), duration_s=12.0))
+        n = min(t.n_intervals for t in traces)
+        corr = np.corrcoef(traces[0].measured_w[:n], traces[1].measured_w[:n])[0, 1]
+        assert abs(corr) < 0.25
+
+    def test_gs_survives_attacker_averaging(self, sys1_design):
+        """Averaging many runs cancels the mask patterns (Figure 7d)."""
+        averages = {}
+        for app in ("volrend", "water_nsquared"):
+            sampled = []
+            for run in range(12):
+                run_id = ("avg", app, run)
+                machine = make_machine(SYS1, parsec_program(app), seed=23, run_id=run_id)
+                trace = run_session(machine, MayaDefense(sys1_design),
+                                    seed=23, run_id=run_id, duration_s=10.0)
+                sensor = RaplSensor(SYS1, spawn(23, "avg-sensor", app, run))
+                sampled.append(sensor.sample_trace(trace.power_w, trace.tick_s, 0.020))
+            averages[app] = np.mean(sampled, axis=0)
+        gap = abs(averages["volrend"].mean() - averages["water_nsquared"].mean())
+        # On the Baseline these two apps differ by >8 W; under Maya GS the
+        # averaged traces collapse to within a watt of each other.
+        assert gap < 1.0
+
+    def test_temperature_channel_also_masked(self, sys1_design):
+        """Masking power masks the (low-passed) thermal side channel too."""
+        temps = {}
+        for app in ("volrend", "water_nsquared"):
+            machine = make_machine(SYS1, parsec_program(app), seed=23,
+                                   run_id=("temp", app), record_temperature=True)
+            trace = run_session(machine, MayaDefense(sys1_design),
+                                seed=23, run_id=("temp", app), duration_s=10.0)
+            temps[app] = trace.temperature_c[5000:].mean()
+        assert abs(temps["volrend"] - temps["water_nsquared"]) < 2.5

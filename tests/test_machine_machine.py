@@ -1,0 +1,144 @@
+"""Tests for repro.machine.machine (work accounting + execution)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import ActuatorSettings, SYS1, SimulatedMachine
+from repro.workloads import Phase, PhaseProgram
+
+
+def two_phase_program():
+    return PhaseProgram(
+        name="twophase",
+        phases=(
+            Phase("low", 1.0, 0.2, 0.5),
+            Phase("high", 1.0, 0.8, 1.0),
+        ),
+    )
+
+
+def machine_for(program, **kwargs):
+    kwargs.setdefault("workload_jitter", 0.0)
+    return SimulatedMachine(SYS1, program, seed=5, run_id=0, **kwargs)
+
+
+def max_perf():
+    return ActuatorSettings(SYS1.freq_max_ghz, 0.0, 0.0)
+
+
+class TestExecution:
+    def test_completes_in_nominal_time_at_max_perf(self):
+        machine = machine_for(two_phase_program())
+        machine.advance(2.05, max_perf())
+        assert machine.completed
+        assert machine.completed_at_s == pytest.approx(2.0, abs=0.02)
+
+    def test_not_complete_early(self):
+        machine = machine_for(two_phase_program())
+        machine.advance(1.0, max_perf())
+        assert not machine.completed
+
+    def test_low_frequency_slows_execution(self):
+        machine = machine_for(two_phase_program())
+        slow = ActuatorSettings(SYS1.freq_min_ghz, 0.0, 0.0)
+        machine.advance(2.05, slow)
+        assert not machine.completed  # needs ~2/(0.6)^1 > 3 s
+
+    def test_idle_injection_slows_execution(self):
+        machine = machine_for(two_phase_program())
+        machine.advance(2.05, ActuatorSettings(SYS1.freq_max_ghz, 0.48, 0.0))
+        assert not machine.completed
+
+    def test_balloon_slows_execution(self):
+        machine = machine_for(two_phase_program())
+        machine.advance(2.05, ActuatorSettings(SYS1.freq_max_ghz, 0.0, 1.0))
+        assert not machine.completed
+
+    def test_power_rises_at_phase_boundary(self):
+        machine = machine_for(two_phase_program())
+        power, _ = machine.advance(2.0, max_perf())
+        first = power[100:900].mean()
+        second = power[1100:1900].mean()
+        assert second > first + 5.0
+
+    def test_power_after_completion_is_static_floor(self):
+        machine = machine_for(two_phase_program())
+        machine.advance(2.05, max_perf())
+        power, _ = machine.advance(1.0, max_perf())
+        model = machine.power_model
+        assert power.mean() == pytest.approx(
+            model.static_power(SYS1.freq_max_ghz), abs=1.0
+        )
+
+    def test_balloon_keeps_burning_after_completion(self):
+        machine = machine_for(two_phase_program())
+        machine.advance(2.05, max_perf())
+        quiet, _ = machine.advance(1.0, max_perf())
+        loud, _ = machine.advance(1.0, ActuatorSettings(SYS1.freq_max_ghz, 0.0, 1.0))
+        assert loud.mean() > quiet.mean() + 10.0
+
+
+class TestAccounting:
+    def test_tick_count(self):
+        machine = machine_for(two_phase_program())
+        power, _ = machine.advance(0.5, max_perf())
+        assert power.size == 500
+        assert machine.time_s == pytest.approx(0.5)
+
+    def test_sub_tick_duration_rejected(self):
+        machine = machine_for(two_phase_program())
+        with pytest.raises(ValueError):
+            machine.advance(0.0001, max_perf())
+
+    def test_reset_rewinds_workload(self):
+        machine = machine_for(two_phase_program())
+        machine.advance(2.05, max_perf())
+        assert machine.completed
+        machine.reset()
+        assert not machine.completed
+        assert machine.work_done == 0.0
+        assert machine.time_s == 0.0
+
+    def test_memory_bound_phase_insensitive_to_frequency(self):
+        program = PhaseProgram(
+            name="membound",
+            phases=(Phase("mem", 2.0, 0.4, 1.0, memory_intensity=1.0),),
+        )
+        fast = machine_for(program)
+        fast.advance(1.0, max_perf())
+        slow = machine_for(program)
+        slow.advance(1.0, ActuatorSettings(SYS1.freq_min_ghz, 0.0, 0.0))
+        # Exponent 1 - 0.7*1 = 0.3: slowdown (0.6)^0.3 ~ 0.86, not 0.6.
+        assert slow.work_done / fast.work_done == pytest.approx(0.6**0.3, rel=0.02)
+
+
+class TestJitter:
+    def test_jitter_perturbs_program(self):
+        base = two_phase_program()
+        jittered = SimulatedMachine(SYS1, base, seed=5, run_id=1, workload_jitter=0.1)
+        assert jittered.workload.total_work != pytest.approx(base.total_work, abs=1e-9)
+
+    def test_jitter_differs_across_runs(self):
+        base = two_phase_program()
+        a = SimulatedMachine(SYS1, base, seed=5, run_id=1, workload_jitter=0.1)
+        b = SimulatedMachine(SYS1, base, seed=5, run_id=2, workload_jitter=0.1)
+        assert a.workload.total_work != b.workload.total_work
+
+    def test_jitter_reproducible_per_run_id(self):
+        base = two_phase_program()
+        a = SimulatedMachine(SYS1, base, seed=5, run_id=1, workload_jitter=0.1)
+        b = SimulatedMachine(SYS1, base, seed=5, run_id=1, workload_jitter=0.1)
+        assert a.workload.total_work == b.workload.total_work
+
+
+class TestTemperature:
+    def test_temperature_recorded_when_enabled(self):
+        machine = machine_for(two_phase_program(), record_temperature=True)
+        _, temps = machine.advance(0.5, max_perf())
+        assert temps.size == 500
+        assert np.all(temps >= 30.0)
+
+    def test_temperature_empty_when_disabled(self):
+        machine = machine_for(two_phase_program())
+        _, temps = machine.advance(0.5, max_perf())
+        assert temps.size == 0

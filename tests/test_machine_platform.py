@@ -1,0 +1,90 @@
+"""Tests for repro.machine.platform (Table III presets)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import PLATFORMS, SYS1, SYS2, SYS3, PlatformSpec, get_platform
+
+
+class TestPresets:
+    def test_three_platforms_exist(self):
+        assert set(PLATFORMS) == {"sys1", "sys2", "sys3"}
+
+    def test_sys1_matches_table3(self):
+        # Sandy Bridge, 6 cores x 2-way SMT, 1.2-2.0 GHz in 0.1 steps.
+        assert SYS1.physical_cores == 6
+        assert SYS1.logical_cores == 12
+        assert SYS1.freq_min_ghz == 1.2
+        assert SYS1.freq_max_ghz == 2.0
+        assert SYS1.rapl_domain == "cores+l1+l2"
+
+    def test_sys2_matches_table3(self):
+        # 2 sockets x 10 cores x 2-way SMT = 40 logical cores.
+        assert SYS2.logical_cores == 40
+        assert SYS2.rapl_domain == "packages"
+
+    def test_sys3_matches_table3(self):
+        # Haswell, 4 cores x 2-way SMT, 0.8-3.5 GHz.
+        assert SYS3.logical_cores == 8
+        assert SYS3.freq_min_ghz == 0.8
+        assert SYS3.freq_max_ghz == 3.5
+
+    def test_get_platform_case_insensitive(self):
+        assert get_platform("SYS1") is SYS1
+
+    def test_get_platform_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            get_platform("sys9")
+
+
+class TestFreqLevels:
+    def test_sys1_levels_step_and_endpoints(self):
+        levels = SYS1.freq_levels_ghz
+        assert levels[0] == pytest.approx(1.2)
+        assert levels[-1] == pytest.approx(2.0)
+        assert np.allclose(np.diff(levels), 0.1)
+        assert levels.size == 9
+
+    def test_sys3_level_count(self):
+        # 0.8 to 3.5 GHz in 0.1 GHz steps: 28 levels.
+        assert SYS3.freq_levels_ghz.size == 28
+
+
+class TestVoltage:
+    def test_voltage_endpoints(self):
+        assert SYS1.voltage(SYS1.freq_min_ghz) == pytest.approx(SYS1.volt_min)
+        assert SYS1.voltage(SYS1.freq_max_ghz) == pytest.approx(SYS1.volt_max)
+
+    def test_voltage_monotone(self):
+        volts = SYS1.voltage(SYS1.freq_levels_ghz)
+        assert np.all(np.diff(volts) > 0)
+
+    def test_voltage_clamped_outside_range(self):
+        assert SYS1.voltage(0.1) == pytest.approx(SYS1.volt_min)
+        assert SYS1.voltage(9.9) == pytest.approx(SYS1.volt_max)
+
+    @given(st.floats(min_value=0.5, max_value=4.0))
+    def test_voltage_always_within_bounds(self, freq):
+        volt = SYS1.voltage(freq)
+        assert SYS1.volt_min <= volt <= SYS1.volt_max
+
+
+class TestValidation:
+    def test_inverted_freq_range_rejected(self):
+        with pytest.raises(ValueError, match="freq_min"):
+            PlatformSpec(name="bad", physical_cores=2, freq_min_ghz=3.0, freq_max_ghz=2.0)
+
+    def test_bad_psu_efficiency_rejected(self):
+        with pytest.raises(ValueError, match="psu_efficiency"):
+            PlatformSpec(name="bad", physical_cores=2, psu_efficiency=1.5)
+
+    def test_tdp_below_static_rejected(self):
+        with pytest.raises(ValueError, match="tdp"):
+            PlatformSpec(name="bad", physical_cores=2, static_power_w=50.0, tdp_w=40.0)
+
+    def test_with_overrides_returns_new_spec(self):
+        hot = SYS1.with_overrides(tdp_w=60.0)
+        assert hot.tdp_w == 60.0
+        assert SYS1.tdp_w != 60.0
+        assert hot.physical_cores == SYS1.physical_cores

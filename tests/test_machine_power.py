@@ -1,0 +1,123 @@
+"""Tests for repro.machine.power — the activity->power coupling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import PowerModel, SYS1, spawn
+
+
+def make_model(key="pm"):
+    return PowerModel(SYS1, spawn(99, key))
+
+
+class TestDvfsScale:
+    def test_unity_at_max_frequency(self):
+        assert make_model().dvfs_scale(SYS1.freq_max_ghz) == pytest.approx(1.0)
+
+    def test_monotone_in_frequency(self):
+        model = make_model()
+        scales = [model.dvfs_scale(f) for f in SYS1.freq_levels_ghz]
+        assert all(b > a for a, b in zip(scales, scales[1:]))
+
+    def test_min_scale_reflects_f_v_squared(self):
+        model = make_model()
+        expected = (
+            SYS1.freq_min_ghz * SYS1.volt_min**2
+        ) / (SYS1.freq_max_ghz * SYS1.volt_max**2)
+        assert model.dvfs_scale(SYS1.freq_min_ghz) == pytest.approx(expected)
+
+
+class TestAppPower:
+    def test_scales_with_activity(self):
+        model = make_model()
+        low = model.app_power(0.2, 1.0, SYS1.freq_max_ghz, 0.0)
+        high = model.app_power(0.8, 1.0, SYS1.freq_max_ghz, 0.0)
+        assert high == pytest.approx(4 * low)
+
+    def test_full_activity_hits_platform_maximum(self):
+        model = make_model()
+        power = model.app_power(1.0, 1.0, SYS1.freq_max_ghz, 0.0)
+        assert power == pytest.approx(SYS1.max_app_dynamic_w)
+
+    def test_idle_injection_reduces_power_partially(self):
+        # powerclamp's power effect is sub-proportional (IDLE_POWER_EFFECTIVENESS).
+        model = make_model()
+        base = model.app_power(0.5, 1.0, SYS1.freq_max_ghz, 0.0)
+        clamped = model.app_power(0.5, 1.0, SYS1.freq_max_ghz, 0.48)
+        assert clamped == pytest.approx(base * (1 - 0.7 * 0.48))
+
+
+class TestBalloonPower:
+    def test_full_power_on_empty_machine(self):
+        model = make_model()
+        power = model.balloon_power(1.0, SYS1.freq_max_ghz, 0.0, app_core_fraction=0.0)
+        assert power == pytest.approx(SYS1.max_balloon_dynamic_w)
+
+    def test_smt_sharing_reduces_authority_under_loaded_app(self):
+        # On a fully-occupied machine the balloon only gets the spare SMT
+        # slots: its authority shrinks to SMT_BALLOON_SHARE.
+        model = make_model()
+        free = model.balloon_power(1.0, SYS1.freq_max_ghz, 0.0, app_core_fraction=0.0)
+        shared = model.balloon_power(1.0, SYS1.freq_max_ghz, 0.0, app_core_fraction=1.0)
+        assert shared == pytest.approx(free * PowerModel.SMT_BALLOON_SHARE)
+
+    @given(st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=30)
+    def test_balloon_power_nonnegative_and_bounded(self, level, q):
+        model = make_model()
+        p = model.balloon_power(level, SYS1.freq_max_ghz, 0.0, q)
+        assert 0.0 <= p <= SYS1.max_balloon_dynamic_w + 1e-9
+
+
+class TestNoise:
+    def test_process_noise_is_stateful_ar1(self):
+        model = make_model()
+        first = model.process_noise(500)
+        second = model.process_noise(500)
+        # AR(1) continuity: the second window continues near the first's end.
+        assert abs(second[0] - PowerModel.NOISE_RHO * first[-1]) < 4 * SYS1.process_noise_w
+
+    def test_process_noise_stationary_std(self):
+        model = make_model()
+        noise = model.process_noise(60_000)
+        assert noise.std() == pytest.approx(SYS1.process_noise_w, rel=0.15)
+
+    def test_process_noise_autocorrelated(self):
+        model = make_model()
+        noise = model.process_noise(30_000)
+        corr = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert corr > 0.9
+
+    def test_empty_window(self):
+        assert make_model().process_noise(0).size == 0
+
+
+class TestWindowPower:
+    def test_shape_and_positivity(self):
+        model = make_model()
+        power = model.window_power(np.full(100, 0.5), 1.0, 1.6, 0.1, 0.3)
+        assert power.shape == (100,)
+        assert np.all(power > 0)
+
+    def test_mean_close_to_breakdown_total(self):
+        model = make_model()
+        power = model.window_power(np.full(20_000, 0.5), 1.0, 1.6, 0.1, 0.3)
+        expected = model.breakdown(0.5, 1.0, 1.6, 0.1, 0.3).total_w
+        assert power.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_deterministic_given_stream(self):
+        a = make_model("same").window_power(np.full(50, 0.5), 1.0, 1.6, 0.0, 0.0)
+        b = make_model("same").window_power(np.full(50, 0.5), 1.0, 1.6, 0.0, 0.0)
+        assert np.array_equal(a, b)
+
+
+class TestRange:
+    def test_min_below_max(self):
+        model = make_model()
+        assert model.min_achievable_power() < model.max_achievable_power()
+
+    def test_max_is_balloon_only_ceiling(self):
+        model = make_model()
+        expected = model.static_power(SYS1.freq_max_ghz) + SYS1.max_balloon_dynamic_w
+        assert model.max_achievable_power() == pytest.approx(expected)

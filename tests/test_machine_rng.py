@@ -1,0 +1,45 @@
+"""Tests for repro.machine.rng (hierarchical deterministic seeding)."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.machine.rng import derive_entropy, spawn
+
+
+class TestDeriveEntropy:
+    def test_deterministic(self):
+        assert derive_entropy(1, "a", 2) == derive_entropy(1, "a", 2)
+
+    def test_key_order_matters(self):
+        assert derive_entropy(1, "a", "b") != derive_entropy(1, "b", "a")
+
+    def test_seed_matters(self):
+        assert derive_entropy(1, "a") != derive_entropy(2, "a")
+
+    def test_no_key_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must map to different streams.
+        assert derive_entropy(1, "ab") != derive_entropy(1, "a", "b")
+
+    def test_fits_128_bits(self):
+        assert derive_entropy(123, "x") < 2**128
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_stable_under_repetition(self, seed, key):
+        assert derive_entropy(seed, key) == derive_entropy(seed, key)
+
+
+class TestSpawn:
+    def test_same_stream_same_values(self):
+        a = spawn(5, "noise").normal(size=10)
+        b = spawn(5, "noise").normal(size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_independent(self):
+        a = spawn(5, "noise").normal(size=10)
+        b = spawn(5, "mask").normal(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_tuple_and_int_keys(self):
+        a = spawn(5, ("run", 3)).normal()
+        b = spawn(5, ("run", 4)).normal()
+        assert a != b

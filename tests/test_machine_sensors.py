@@ -1,0 +1,100 @@
+"""Tests for repro.machine.sensors (RAPL + outlet meter)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import OutletMeter, RaplSensor, SYS1, spawn, window_means
+
+
+class TestWindowMeans:
+    def test_basic(self):
+        out = window_means(np.array([1.0, 3.0, 5.0, 7.0]), 2)
+        assert np.array_equal(out, [2.0, 6.0])
+
+    def test_partial_window_dropped(self):
+        out = window_means(np.arange(7, dtype=float), 3)
+        assert out.size == 2
+
+    def test_window_larger_than_data(self):
+        assert window_means(np.arange(3, dtype=float), 10).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            window_means(np.arange(4, dtype=float), 0)
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20)
+    def test_mean_preserved(self, window):
+        values = np.arange(window * 5, dtype=float)
+        out = window_means(values, window)
+        assert out.mean() == pytest.approx(values.mean())
+
+
+class TestRaplSensor:
+    def sensor(self, noise=0.0):
+        return RaplSensor(SYS1, spawn(3, "rapl"), noise_w=noise)
+
+    def test_measure_window_reports_average(self):
+        sensor = self.sensor()
+        value = sensor.measure_window(np.full(20, 17.0), tick_s=0.001)
+        assert value == pytest.approx(17.0, abs=1e-3)
+
+    def test_measurement_noise_applied(self):
+        sensor = self.sensor(noise=0.5)
+        values = [sensor.measure_window(np.full(20, 17.0), 0.001) for _ in range(200)]
+        assert np.std(values) == pytest.approx(0.5, rel=0.3)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            self.sensor().measure_window(np.empty(0), 0.001)
+
+    def test_sample_trace_length(self):
+        sensor = self.sensor()
+        trace = np.full(1000, 20.0)
+        out = sensor.sample_trace(trace, tick_s=0.001, interval_s=0.020)
+        assert out.size == 50
+
+    def test_sample_trace_interval_below_tick_rejected(self):
+        with pytest.raises(ValueError, match="finer than the tick"):
+            self.sensor().sample_trace(np.full(100, 1.0), 0.001, 0.0001)
+
+    def test_energy_quantization_is_fine_grained(self):
+        # RAPL's 15.3 uJ quanta are far below the watt scale at 20 ms.
+        sensor = self.sensor()
+        out = sensor.sample_trace(np.full(1000, 20.123), 0.001, 0.020)
+        assert np.allclose(out, 20.123, atol=0.01)
+
+
+class TestOutletMeter:
+    def meter(self, noise=0.0, pnoise=0.0):
+        return OutletMeter(SYS1, spawn(3, "outlet"), noise_w=noise, platform_noise_w=pnoise)
+
+    def test_sample_interval_is_three_ac_cycles(self):
+        assert self.meter().sample_interval_s == pytest.approx(0.05)
+
+    def test_wall_power_includes_platform_and_psu(self):
+        meter = self.meter()
+        wall = meter.wall_power(np.full(10, 20.0))
+        expected = (20.0 + SYS1.platform_base_power_w) / SYS1.psu_efficiency
+        assert wall.mean() == pytest.approx(expected, rel=1e-6)
+
+    def test_wall_power_exceeds_domain_power(self):
+        meter = self.meter()
+        assert np.all(meter.wall_power(np.full(5, 10.0)) > 10.0)
+
+    def test_sample_trace_rate(self):
+        meter = self.meter()
+        out = meter.sample_trace(np.full(10_000, 20.0), tick_s=0.001)
+        assert out.size == 10_000 // 50
+
+    def test_rms_upweights_variance(self):
+        # RMS of a fluctuating signal exceeds RMS of its mean.
+        meter = self.meter()
+        flat = meter.sample_trace(np.full(1000, 20.0), 0.001)
+        wave = 20.0 + 10.0 * np.sign(np.sin(np.arange(1000)))
+        fluct = meter.sample_trace(wave, 0.001)
+        assert fluct.mean() > flat.mean()
+
+    def test_short_trace_returns_empty(self):
+        assert self.meter().sample_trace(np.full(10, 20.0), 0.001).size == 0

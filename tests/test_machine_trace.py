@@ -1,0 +1,58 @@
+"""Tests for repro.machine.trace."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Trace
+
+
+def make_trace(n_intervals=10, interval_s=0.02, tick_s=0.001, completed_at=np.nan):
+    ticks = int(n_intervals * interval_s / tick_s)
+    return Trace(
+        workload="w",
+        platform="sys1",
+        defense="maya_gs",
+        tick_s=tick_s,
+        interval_s=interval_s,
+        power_w=np.full(ticks, 20.0),
+        measured_w=np.full(n_intervals, 20.0),
+        target_w=np.concatenate([[np.nan], np.full(n_intervals - 1, 21.0)]),
+        settings=np.tile([2.0, 0.0, 0.5], (n_intervals, 1)),
+        completed_at_s=completed_at,
+    )
+
+
+class TestTrace:
+    def test_duration(self):
+        assert make_trace().duration_s == pytest.approx(0.2)
+
+    def test_energy(self):
+        trace = make_trace()
+        assert trace.energy_j == pytest.approx(20.0 * 0.2)
+
+    def test_average_power(self):
+        assert make_trace().average_power_w == pytest.approx(20.0)
+
+    def test_completed_flag(self):
+        assert not make_trace().completed
+        assert make_trace(completed_at=0.1).completed
+
+    def test_interval_times(self):
+        times = make_trace(n_intervals=3).interval_times_s()
+        assert np.allclose(times, [0.02, 0.04, 0.06])
+
+    def test_tracking_error_skips_nan_targets(self):
+        trace = make_trace(n_intervals=5)
+        err = trace.tracking_error()
+        assert err.size == 4
+        assert np.allclose(err, 1.0)
+
+    def test_summary_contents(self):
+        summary = make_trace(completed_at=0.15).summary()
+        assert summary["workload"] == "w"
+        assert summary["defense"] == "maya_gs"
+        assert summary["completed_at_s"] == pytest.approx(0.15)
+        assert summary["mean_tracking_error_w"] == pytest.approx(1.0)
+
+    def test_summary_incomplete_run(self):
+        assert make_trace().summary()["completed_at_s"] is None

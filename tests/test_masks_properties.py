@@ -1,0 +1,65 @@
+"""Tests for repro.masks.properties (the Table II analyzer)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import spawn
+from repro.masks import analyze_signal, make_mask
+from repro.experiments.fig04_tab02_masks import EXPECTED_TABLE2
+
+RANGE = (10.0, 30.0)
+
+
+def majority_flags(family, draws=7, n=1500):
+    votes = []
+    for d in range(draws):
+        mask = make_mask(family, RANGE, spawn(11, "props", family, d))
+        p = analyze_signal(mask.generate(n))
+        votes.append((p.changes_mean, p.changes_variance, p.fft_spread, p.fft_peaks))
+    return tuple(sum(v[i] for v in votes) > draws // 2 for i in range(4))
+
+
+class TestTable2:
+    @pytest.mark.parametrize("family", sorted(EXPECTED_TABLE2))
+    def test_family_matches_paper_row(self, family):
+        assert majority_flags(family) == EXPECTED_TABLE2[family]
+
+
+class TestAnalyzerBasics:
+    def test_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_signal(np.zeros(100))
+
+    def test_flat_signal_all_negative(self):
+        props = analyze_signal(np.full(1000, 5.0))
+        assert not any(
+            [props.changes_mean, props.changes_variance, props.fft_spread, props.fft_peaks]
+        )
+
+    def test_pure_tone_has_peaks_no_spread(self):
+        t = np.arange(2000)
+        signal = 20.0 + 3.0 * np.sin(2 * np.pi * t / 10.0)
+        props = analyze_signal(signal)
+        assert props.fft_peaks
+        assert not props.fft_spread
+
+    def test_white_noise_has_spread_no_peaks(self):
+        rng = np.random.default_rng(0)
+        props = analyze_signal(20.0 + rng.normal(0, 1, 2000))
+        assert props.fft_spread
+        assert not props.fft_peaks
+
+    def test_mean_step_detected(self):
+        signal = np.concatenate([np.full(700, 10.0), np.full(700, 20.0)])
+        signal += np.random.default_rng(1).normal(0, 0.2, signal.size)
+        assert analyze_signal(signal).changes_mean
+
+    def test_variance_modulation_detected(self):
+        rng = np.random.default_rng(2)
+        quiet = rng.normal(0, 0.2, 700)
+        loud = rng.normal(0, 3.0, 700)
+        assert analyze_signal(20 + np.concatenate([quiet, loud])).changes_variance
+
+    def test_as_row_rendering(self):
+        props = analyze_signal(np.full(1000, 5.0))
+        assert props.as_row() == {"mean": "-", "variance": "-", "spread": "-", "peaks": "-"}

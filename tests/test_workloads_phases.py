@@ -1,0 +1,137 @@
+"""Tests for repro.workloads.phases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import spawn
+from repro.workloads import Phase, PhaseProgram
+from repro.workloads.phases import jitter_program
+
+
+def simple_phase(**kwargs):
+    defaults = dict(name="p", work_units=2.0, activity=0.5, core_fraction=1.0)
+    defaults.update(kwargs)
+    return Phase(**defaults)
+
+
+class TestPhaseValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"work_units": 0.0},
+            {"activity": 1.5},
+            {"core_fraction": 0.0},
+            {"memory_intensity": -0.1},
+            {"osc_amplitude": 0.2, "osc_period_s": 0.0},
+        ],
+    )
+    def test_invalid_phase_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            simple_phase(**kwargs)
+
+
+class TestProgressRate:
+    def test_full_speed_is_unity(self):
+        assert simple_phase().progress_rate(1.0, 0.0, 0.0) == pytest.approx(1.0)
+
+    def test_compute_bound_scales_linearly(self):
+        phase = simple_phase(memory_intensity=0.0)
+        assert phase.progress_rate(0.5, 0.0, 0.0) == pytest.approx(0.5)
+
+    def test_memory_bound_scales_weakly(self):
+        phase = simple_phase(memory_intensity=1.0)
+        assert phase.progress_rate(0.5, 0.0, 0.0) == pytest.approx(0.5**0.3)
+
+    def test_idle_removes_cycles(self):
+        assert simple_phase().progress_rate(1.0, 0.48, 0.0) == pytest.approx(0.52)
+
+    def test_full_balloon_halves_throughput(self):
+        assert simple_phase().progress_rate(1.0, 0.0, 1.0) == pytest.approx(0.5)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.48),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_rate_positive_and_bounded(self, f, idle, balloon, mem):
+        phase = simple_phase(memory_intensity=mem)
+        rate = phase.progress_rate(f, idle, balloon)
+        assert 0.0 < rate <= 1.0 + 1e-9
+
+
+class TestActivity:
+    def test_constant_without_oscillation(self):
+        act = simple_phase().activity_at(np.linspace(0, 2, 50))
+        assert np.allclose(act, 0.5)
+
+    def test_oscillation_has_requested_period(self):
+        phase = simple_phase(osc_amplitude=0.5, osc_period_s=1.0)
+        t = np.linspace(0, 1, 1000, endpoint=False)
+        act = phase.activity_at(t)
+        assert act.max() == pytest.approx(0.75, abs=0.01)
+        assert act.min() == pytest.approx(0.25, abs=0.01)
+        assert act[0] == pytest.approx(phase.activity_at(np.array([1.0]))[0], abs=0.01)
+
+    def test_activity_clipped_to_unit(self):
+        phase = simple_phase(activity=0.9, osc_amplitude=0.5, osc_period_s=1.0)
+        act = phase.activity_at(np.linspace(0, 2, 200))
+        assert act.max() <= 1.0
+
+
+class TestPhaseProgram:
+    def program(self):
+        return PhaseProgram(
+            "prog", (simple_phase(name="a", work_units=1.0), simple_phase(name="b", work_units=3.0))
+        )
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProgram("empty", ())
+
+    def test_total_work(self):
+        assert self.program().total_work == 4.0
+
+    def test_boundaries(self):
+        assert np.array_equal(self.program().phase_boundaries(), [1.0, 4.0])
+
+    def test_phase_at(self):
+        program = self.program()
+        assert program.phase_at(0.5) == (0, 0.5)
+        assert program.phase_at(2.0) == (1, 1.0)
+        assert program.phase_at(99.0) == (2, 0.0)
+
+    def test_describe_mentions_every_phase(self):
+        text = self.program().describe()
+        assert "a:" in text and "b:" in text
+
+
+class TestJitter:
+    def test_zero_strength_is_identity(self):
+        program = PhaseProgram("p", (simple_phase(),))
+        assert jitter_program(program, spawn(1, "j"), 0.0) is program
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValueError):
+            jitter_program(PhaseProgram("p", (simple_phase(),)), spawn(1, "j"), -0.1)
+
+    def test_structure_preserved(self):
+        program = PhaseProgram("p", (simple_phase(name="x"), simple_phase(name="y")))
+        out = jitter_program(program, spawn(1, "j"), 0.1)
+        assert [p.name for p in out.phases] == ["x", "y"]
+        assert out.name == program.name
+
+    def test_durations_perturbed_moderately(self):
+        program = PhaseProgram("p", tuple(simple_phase(name=str(i)) for i in range(50)))
+        out = jitter_program(program, spawn(1, "j"), 0.08)
+        ratios = [o.work_units / p.work_units for o, p in zip(out.phases, program.phases)]
+        assert 0.7 < min(ratios) and max(ratios) < 1.4
+        assert np.std(np.log(ratios)) == pytest.approx(0.08, rel=0.5)
+
+    def test_activity_stays_in_bounds(self):
+        program = PhaseProgram("p", (simple_phase(activity=0.99),))
+        for i in range(20):
+            out = jitter_program(program, spawn(1, "j", i), 0.2)
+            assert 0.0 <= out.phases[0].activity <= 1.0

@@ -1,0 +1,154 @@
+"""Tests for the concrete workload families and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    INSTRUCTION_LOOPS,
+    PAGE_NAMES,
+    PARSEC_APPS,
+    VIDEO_NAMES,
+    WORKLOAD_FAMILIES,
+    all_workload_names,
+    browser_labels,
+    browser_program,
+    get_workload,
+    instruction_labels,
+    instruction_loop,
+    parsec_labels,
+    parsec_program,
+    video_labels,
+    video_program,
+)
+
+
+class TestParsec:
+    def test_eleven_apps_in_paper_order(self):
+        assert len(PARSEC_APPS) == 11
+        assert PARSEC_APPS[0] == "blackscholes"
+        # Figure 10: water_nsquared is label 9.
+        assert PARSEC_APPS[9] == "water_nsquared"
+
+    def test_labels_match_order(self):
+        labels = parsec_labels()
+        assert labels["blackscholes"] == 0
+        assert labels["water_nsquared"] == 9
+        assert len(set(labels.values())) == 11
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            parsec_program("linpack")
+
+    def test_programs_have_distinct_signatures(self):
+        # Mean activity x core-fraction products must differ across apps,
+        # otherwise the Figure 6 attack has nothing to classify.
+        products = []
+        for app in PARSEC_APPS:
+            program = parsec_program(app)
+            weights = np.array([p.work_units for p in program.phases])
+            values = np.array([p.activity * p.core_fraction for p in program.phases])
+            products.append(float((weights * values).sum() / weights.sum()))
+        assert max(products) / min(products) > 1.8
+        assert len({round(p, 3) for p in products}) == 11
+
+    def test_each_app_has_multiple_phases(self):
+        for app in PARSEC_APPS:
+            assert len(parsec_program(app).phases) >= 3
+
+    def test_nominal_durations_reasonable(self):
+        for app in PARSEC_APPS:
+            assert 20.0 <= parsec_program(app).nominal_duration_s() <= 60.0
+
+
+class TestVideo:
+    def test_four_clips(self):
+        assert VIDEO_NAMES == ("tractor", "riverbed", "wind", "sunflower")
+
+    def test_labels(self):
+        assert video_labels()["tractor"] == 0
+
+    def test_unknown_video_raises(self):
+        with pytest.raises(KeyError):
+            video_program("bunny")
+
+    def test_riverbed_is_hardest_clip(self):
+        def encode_work(name):
+            return video_program(name).total_work
+
+        assert encode_work("riverbed") > encode_work("sunflower")
+
+    def test_complexity_curves_differ(self):
+        def activity_profile(name):
+            return tuple(
+                round(p.activity, 3)
+                for p in video_program(name).phases
+                if p.name.startswith("gop")
+            )
+
+        profiles = {name: activity_profile(name) for name in VIDEO_NAMES}
+        assert len(set(profiles.values())) == 4
+
+    def test_deterministic(self):
+        a = video_program("wind")
+        b = video_program("wind")
+        assert [p.activity for p in a.phases] == [p.activity for p in b.phases]
+
+
+class TestBrowser:
+    def test_seven_pages(self):
+        assert len(PAGE_NAMES) == 7
+
+    def test_labels(self):
+        assert browser_labels()["google"] == 0
+        assert browser_labels()["paypal"] == 6
+
+    def test_unknown_page_raises(self):
+        with pytest.raises(KeyError):
+            browser_program("bing")
+
+    def test_visit_duration_about_15s(self):
+        # Each trace is nearly 15 seconds long (Section VI-A).
+        for page in PAGE_NAMES:
+            assert browser_program(page).total_work == pytest.approx(15.0, abs=1.0)
+
+    def test_youtube_has_periodic_decode(self):
+        program = browser_program("youtube")
+        decode = [p for p in program.phases if p.name == "video_decode"]
+        assert decode and decode[0].osc_amplitude > 0
+
+
+class TestMicrobench:
+    def test_paper_instruction_set(self):
+        assert set(INSTRUCTION_LOOPS) == {"imul", "mov", "xor"}
+
+    def test_imul_burns_most(self):
+        def activity(ins):
+            return instruction_loop(ins).phases[0].activity
+
+        assert activity("imul") > activity("xor") > activity("mov")
+
+    def test_duration_parameter(self):
+        assert instruction_loop("mov", duration_s=3.0).total_work == 3.0
+
+    def test_unknown_instruction_raises(self):
+        with pytest.raises(KeyError):
+            instruction_loop("fdiv")
+
+    def test_labels(self):
+        assert instruction_labels() == {"imul": 0, "mov": 1, "xor": 2}
+
+
+class TestRegistry:
+    def test_family_counts(self):
+        assert len(WORKLOAD_FAMILIES["parsec"]) == 11
+        assert len(WORKLOAD_FAMILIES["video"]) == 4
+        assert len(WORKLOAD_FAMILIES["browser"]) == 7
+        assert len(WORKLOAD_FAMILIES["microbench"]) == 3
+
+    def test_all_names_resolvable(self):
+        for name in all_workload_names():
+            assert get_workload(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("nonexistent")
