@@ -9,9 +9,11 @@ minibatch Adam, and early stopping on validation accuracy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
+
+from ..machine.rng import spawn
 
 __all__ = ["MLPConfig", "MLPClassifier"]
 
@@ -44,7 +46,7 @@ class MLPClassifier:
         self.config = config or MLPConfig()
         self.n_features = n_features
         self.n_classes = n_classes
-        rng = np.random.default_rng(self.config.seed)
+        rng = spawn(self.config.seed, "mlp-init")
 
         sizes = (n_features, *self.config.hidden_sizes, n_classes)
         self.weights: list[np.ndarray] = []
@@ -134,7 +136,7 @@ class MLPClassifier:
         if x_train.shape[0] != y_train.size:
             raise ValueError("x_train and y_train length mismatch")
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed + 1)
+        rng = spawn(cfg.seed, "mlp-train")
 
         best_metric = -np.inf
         best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None

@@ -2,7 +2,7 @@
 
 from .arx import ArxModel, fit_arx, fit_arx_records
 from .controller import MatrixController
-from .fixedpoint import FixedPointController, FixedPointFormat
+from .fixedpoint import FixedPointController, FixedPointFormat, FixedPointOverflowError
 from .naive import NaiveTracker
 from .statespace import StateSpace
 from .synthesis import DesignedController, SynthesisSpec, design_controller
@@ -21,6 +21,7 @@ __all__ = [
     "MatrixController",
     "FixedPointController",
     "FixedPointFormat",
+    "FixedPointOverflowError",
     "NaiveTracker",
     "StateSpace",
     "DesignedController",

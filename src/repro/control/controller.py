@@ -113,7 +113,7 @@ class MatrixController:
 
     def _saturated_towards(self, error: float, u_norm: np.ndarray) -> bool:
         """True if every input is railed in the direction demanded by ``error``."""
-        if error == 0.0:
+        if abs(error) < 1e-12:
             return False
         demand = np.sign(error)  # +1 -> need more power
         railed = []

@@ -23,7 +23,7 @@ controller's size and per-step cost, Section VII-E).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.linalg import solve_discrete_are

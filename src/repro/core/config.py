@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from ..control.synthesis import SynthesisSpec
 from ..machine import PlatformSpec, PowerModel
+from ..machine.rng import spawn
 
 __all__ = ["MayaConfig", "default_mask_range"]
 
@@ -23,9 +24,7 @@ def default_mask_range(spec: PlatformSpec) -> tuple[float, float]:
       throttled to minimum frequency and maximum idle injection, so even a
       fully loaded machine can be brought down to any mask value.
     """
-    import numpy as np
-
-    model = PowerModel(spec, np.random.default_rng(0))
+    model = PowerModel(spec, spawn(0, "mask-range-bounds", spec.name))
     ceiling_no_app = model.static_power(spec.freq_max_ghz) + 0.92 * spec.max_balloon_dynamic_w
     high = min(ceiling_no_app, 0.97 * spec.tdp_w)
     worst_app_floor = model.min_achievable_power() + (

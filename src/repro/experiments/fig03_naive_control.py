@@ -20,7 +20,7 @@ from ..core.maya import MayaDesign
 from ..core.runtime import make_machine, run_session
 from ..defenses.base import Defense
 from ..defenses.designs import DefenseFactory, MayaDefense
-from ..machine import ActuatorSettings, PlatformSpec, SimulatedMachine, SYS1
+from ..machine import ActuatorSettings, PlatformSpec, SimulatedMachine, SYS1, spawn
 from ..workloads import parsec_program
 from .config import ExperimentScale, get_scale
 
@@ -98,7 +98,7 @@ def run(
 
         factory = make_factory(spec, scale, seed=seed)
     design: MayaDesign = factory.maya_design("constant")
-    target_w = design.instantiate(np.random.default_rng(0)).mask.next_target()
+    target_w = design.instantiate(spawn(seed, "fig3-target")).mask.next_target()
 
     duration = scale.duration_s
 

@@ -58,7 +58,7 @@ def run(
     matrices = controller.equation1_matrices()
 
     # Warm up, then time the runtime controller step.
-    rng = np.random.default_rng(seed)
+    rng = spawn(seed, "sec7e-timing")
     targets = rng.uniform(*design.mask_range_w, size=timing_iterations)
     measured = rng.uniform(*design.mask_range_w, size=timing_iterations)
     for i in range(200):

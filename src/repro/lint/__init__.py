@@ -1,0 +1,44 @@
+"""Repo-specific static analysis: determinism lint + controller certification.
+
+Two halves, both motivated by the paper's formal-guarantee story:
+
+* :mod:`repro.lint.engine` / :mod:`repro.lint.rules` — an AST linter that
+  walks ``src/repro`` and flags hazards that would silently break the
+  reproduction's byte-reproducibility or hide controller defects (direct
+  ``np.random`` use outside :mod:`repro.machine.rng`, wall-clock reads
+  outside the sanctioned timing sites, float ``==`` comparisons, mutable
+  default arguments, missing ``__all__``, bare ``except``).
+* :mod:`repro.lint.certify` — a model-level verifier that statically
+  certifies a synthesized Equation-1 :class:`~repro.control.statespace.StateSpace`
+  against a :class:`~repro.control.fixedpoint.FixedPointFormat` without
+  running the closed loop: stability, no fixed-point saturation, bounded
+  quantization error, and the paper's 1 KB storage budget (Section VII-E).
+
+Run the linter from the command line::
+
+    python -m repro.lint [--format json] [paths...]
+"""
+
+from .certify import (
+    DEFAULT_STORAGE_BUDGET_BYTES,
+    CertificationError,
+    ControllerCertificate,
+    certify_controller,
+    certify_design,
+)
+from .engine import Diagnostic, LintEngine, lint_paths
+from .rules import Rule, all_rule_ids, default_rules
+
+__all__ = [
+    "DEFAULT_STORAGE_BUDGET_BYTES",
+    "CertificationError",
+    "ControllerCertificate",
+    "certify_controller",
+    "certify_design",
+    "Diagnostic",
+    "LintEngine",
+    "lint_paths",
+    "Rule",
+    "all_rule_ids",
+    "default_rules",
+]

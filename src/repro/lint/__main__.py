@@ -1,0 +1,118 @@
+"""CLI: ``python -m repro.lint [--format json] [paths...]``.
+
+With no paths, lints the installed ``repro`` package tree.  Exits 0 when
+clean, 1 when any finding is reported (including warnings — the gate is
+strict), 2 on usage errors.
+
+``--certify PLATFORM`` switches to the model-level verifier: it runs
+system identification and controller synthesis for the platform (sys1,
+sys2, or sys3), statically certifies the resulting Equation-1 artifact
+against the firmware fixed-point format, prints the JSON controller
+certificate, and exits 0 only if the certificate is clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import LintEngine, format_json, format_text
+from .rules import default_rules
+
+
+def _default_target() -> str:
+    """The source tree of the repro package itself."""
+    return str(Path(__file__).resolve().parents[1])
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Repo-specific determinism and safety linter (MAYA rules)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--certify",
+        metavar="PLATFORM",
+        help="synthesize and certify the controller for a platform "
+        "(sys1/sys2/sys3); prints the JSON certificate",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for --certify synthesis (default: 0)",
+    )
+    parser.add_argument(
+        "--sysid-intervals",
+        type=int,
+        default=400,
+        help="excitation intervals per training app for --certify "
+        "(default: 400)",
+    )
+    return parser
+
+
+def _certify(platform: str, seed: int, sysid_intervals: int) -> int:
+    # Imported lazily: linting must not require scipy/the simulator stack.
+    from ..core.config import MayaConfig
+    from ..core.maya import build_maya_design
+    from ..machine import get_platform
+    from .certify import certify_design
+
+    try:
+        spec = get_platform(platform)
+    except KeyError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+    design = build_maya_design(
+        spec, MayaConfig(sysid_intervals=sysid_intervals), seed=seed
+    )
+    certificate = certify_design(design.controller)
+    print(certificate.to_json())
+    return 0 if certificate.ok else 1
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id} [{rule.severity}] {rule.summary}")
+        return 0
+
+    if args.certify:
+        return _certify(args.certify, args.seed, args.sysid_intervals)
+
+    paths = args.paths or [_default_target()]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"repro.lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    diagnostics = LintEngine().lint_paths(paths)
+    if args.format == "json":
+        print(format_json(diagnostics))
+    else:
+        print(format_text(diagnostics))
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,262 @@
+"""Static certification of a synthesized Equation-1 controller.
+
+The paper's defense rests on formal properties of the artifact that ships:
+a stable linear state machine (Section V-A) whose matrices fit the
+firmware fixed-point format in under 1 KB (Section VII-E).
+:func:`certify_controller` checks those properties statically — no
+closed-loop simulation — and emits a JSON-able "controller certificate":
+
+* every eigenvalue of A lies strictly inside the unit disk, except for up
+  to ``allow_integrators`` poles at exactly +1 (the servo's deliberate
+  error integrator, which gives offset-free mask tracking and survives in
+  the closed Equation-1 form); the same must hold after quantization to
+  the target format;
+* no matrix entry saturates the Qm.n range (a silent clip can turn an
+  unstable-looking controller into one that *appears* to work);
+* the worst per-entry quantization error is below a bound (default: the
+  half-ULP guarantee of round-to-nearest);
+* matrices plus state fit the paper's 1 KB storage budget.
+
+A certificate either has an empty ``violations`` tuple (``ok``) or lists
+every failed check; :meth:`ControllerCertificate.raise_if_invalid` converts
+the latter into a :class:`CertificationError` for pipeline use.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..control.fixedpoint import FixedPointFormat
+from ..control.statespace import StateSpace
+from ..control.synthesis import DesignedController
+
+__all__ = [
+    "DEFAULT_STORAGE_BUDGET_BYTES",
+    "CertificationError",
+    "ControllerCertificate",
+    "certify_controller",
+    "certify_design",
+]
+
+#: Section VII-E: "less than 1 KByte of storage".
+DEFAULT_STORAGE_BUDGET_BYTES = 1024
+
+#: Margin by which non-integrator eigenvalues must clear the unit circle
+#: (matches :meth:`StateSpace.is_stable`).
+DEFAULT_STABILITY_MARGIN = 1e-9
+
+#: How close to +1 an eigenvalue must be to count as a deliberate
+#: integrator pole rather than an instability.
+DEFAULT_INTEGRATOR_TOLERANCE = 1e-6
+
+
+class CertificationError(ValueError):
+    """Raised when a controller artifact fails static certification."""
+
+
+def _classify_eigenvalues(
+    a: np.ndarray, margin: float, integrator_tolerance: float
+) -> Tuple[float, int, float]:
+    """``(spectral_radius, n_integrator_poles, non_integrator_radius)``.
+
+    An eigenvalue counts as an integrator pole when it sits within
+    ``integrator_tolerance`` of +1 in the complex plane; every other
+    eigenvalue is held to the strict ``< 1 - margin`` bound.
+    """
+    eigenvalues = np.linalg.eigvals(a)
+    radius = float(np.max(np.abs(eigenvalues))) if eigenvalues.size else 0.0
+    integrator = np.abs(eigenvalues - 1.0) <= integrator_tolerance
+    rest = eigenvalues[~integrator]
+    rest_radius = float(np.max(np.abs(rest))) if rest.size else 0.0
+    return radius, int(np.count_nonzero(integrator)), rest_radius
+
+
+@dataclass(frozen=True)
+class ControllerCertificate:
+    """The verifiable facts about one (StateSpace, FixedPointFormat) pair."""
+
+    #: Human-readable format tag, e.g. ``"Q7.24"``.
+    format: str
+    n_states: int
+    n_inputs: int
+    n_outputs: int
+    #: Largest |eigenvalue| of the float A matrix (1.0 for a servo with an
+    #: integrator pole).
+    spectral_radius: float
+    #: Eigenvalues within the integrator tolerance of +1.
+    integrator_poles: int
+    #: Largest |eigenvalue| excluding the integrator poles — the quantity
+    #: held strictly below 1.
+    non_integrator_radius: float
+    #: Same two radii after a quantize/dequantize round trip of A.
+    quantized_spectral_radius: float
+    quantized_non_integrator_radius: float
+    stability_margin: float
+    #: Matrix entries whose magnitude exceeds the representable range.
+    saturated_entries: int
+    max_abs_entry: float
+    representable_max: float
+    #: Worst per-entry |dequantized - exact| across A, B, C, D.
+    max_quantization_error: float
+    quantization_error_bound: float
+    storage_bytes: int
+    storage_budget_bytes: int
+    operations_per_step: int
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        payload["violations"] = list(self.violations)
+        payload["ok"] = self.ok
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def raise_if_invalid(self) -> "ControllerCertificate":
+        if not self.ok:
+            raise CertificationError(
+                "controller failed certification: " + "; ".join(self.violations)
+            )
+        return self
+
+
+def certify_controller(
+    matrices: StateSpace,
+    fmt: Optional[FixedPointFormat] = None,
+    *,
+    storage_budget_bytes: int = DEFAULT_STORAGE_BUDGET_BYTES,
+    stability_margin: float = DEFAULT_STABILITY_MARGIN,
+    allow_integrators: int = 1,
+    integrator_tolerance: float = DEFAULT_INTEGRATOR_TOLERANCE,
+    error_bound: Optional[float] = None,
+) -> ControllerCertificate:
+    """Statically certify an Equation-1 artifact against a firmware format.
+
+    ``allow_integrators`` bounds how many poles may sit at +1 (the Maya
+    servo carries exactly one, its error integrator); pass 0 to demand a
+    strictly stable state machine.  ``error_bound`` defaults to the
+    half-ULP guarantee of round-to-nearest quantization,
+    ``2**-(fraction_bits + 1)`` plus float slack; it only holds for entries
+    that do not saturate, so a saturating artifact reports both violations.
+    """
+    fmt = fmt or FixedPointFormat()
+    if error_bound is None:
+        error_bound = 2.0 ** -(fmt.fraction_bits + 1) + 1e-12
+
+    named = (
+        ("A", matrices.a),
+        ("B", matrices.b),
+        ("C", matrices.c),
+        ("D", matrices.d),
+    )
+
+    violations = []
+
+    # -- stability ------------------------------------------------------
+    radius, integrators, rest_radius = _classify_eigenvalues(
+        matrices.a, stability_margin, integrator_tolerance
+    )
+    if integrators > allow_integrators:
+        violations.append(
+            f"unstable: {integrators} integrator pole(s) at +1, only "
+            f"{allow_integrators} allowed"
+        )
+    if not rest_radius < 1.0 - stability_margin:
+        violations.append(
+            f"unstable: non-integrator spectral radius of A is "
+            f"{rest_radius:.6g} (needs < 1 - {stability_margin:g})"
+        )
+
+    # -- saturation -----------------------------------------------------
+    saturated = 0
+    max_abs = 0.0
+    for name, matrix in named:
+        mask = fmt.saturation_mask(matrix)
+        count = int(np.count_nonzero(mask))
+        if count:
+            violations.append(
+                f"saturation: {count} entr{'y' if count == 1 else 'ies'} of "
+                f"{name} exceed the {fmt.describe()} range "
+                f"(|max| = {float(np.max(np.abs(matrix))):.6g} > "
+                f"{fmt.max_value:.6g})"
+            )
+        saturated += count
+        max_abs = max(max_abs, float(np.max(np.abs(matrix))))
+
+    # -- quantization error --------------------------------------------
+    quant_error = 0.0
+    for _, matrix in named:
+        dequantized = fmt.to_float(fmt.quantize(matrix))
+        quant_error = max(quant_error, float(np.max(np.abs(dequantized - matrix))))
+    if quant_error > error_bound:
+        violations.append(
+            f"quantization error {quant_error:.6g} exceeds bound "
+            f"{error_bound:.6g} for {fmt.describe()}"
+        )
+
+    # -- stability after quantization ----------------------------------
+    a_dequant = fmt.to_float(fmt.quantize(matrices.a))
+    q_radius, q_integrators, q_rest_radius = _classify_eigenvalues(
+        a_dequant, stability_margin, integrator_tolerance
+    )
+    if q_integrators > allow_integrators or not q_rest_radius < 1.0 - stability_margin:
+        violations.append(
+            f"quantized A is unstable: non-integrator spectral radius "
+            f"{q_rest_radius:.6g} with {q_integrators} integrator pole(s) "
+            f"after rounding to {fmt.describe()}"
+        )
+
+    # -- storage --------------------------------------------------------
+    word_bytes = 4 if fmt.total_bits <= 32 else 8
+    n_words = (
+        matrices.a.size
+        + matrices.b.size
+        + matrices.c.size
+        + matrices.d.size
+        + matrices.n_states
+    )
+    storage = n_words * word_bytes
+    if storage > storage_budget_bytes:
+        violations.append(
+            f"storage {storage} B exceeds the {storage_budget_bytes} B budget"
+        )
+
+    return ControllerCertificate(
+        format=fmt.describe(),
+        n_states=matrices.n_states,
+        n_inputs=matrices.n_inputs,
+        n_outputs=matrices.n_outputs,
+        spectral_radius=radius,
+        integrator_poles=integrators,
+        non_integrator_radius=rest_radius,
+        quantized_spectral_radius=q_radius,
+        quantized_non_integrator_radius=q_rest_radius,
+        stability_margin=stability_margin,
+        saturated_entries=saturated,
+        max_abs_entry=max_abs,
+        representable_max=fmt.max_value,
+        max_quantization_error=quant_error,
+        quantization_error_bound=float(error_bound),
+        storage_bytes=storage,
+        storage_budget_bytes=storage_budget_bytes,
+        operations_per_step=matrices.operations_per_step(),
+        violations=tuple(violations),
+    )
+
+
+def certify_design(
+    design: DesignedController,
+    fmt: Optional[FixedPointFormat] = None,
+    **kwargs,
+) -> ControllerCertificate:
+    """Certify a synthesized design's closed Equation-1 form."""
+    return certify_controller(design.as_equation1(), fmt, **kwargs)

@@ -1,0 +1,170 @@
+"""Lint engine: file discovery, suppression, and reporting.
+
+The engine is rule-agnostic: it parses each module once, hands the tree to
+every rule, and filters the findings through per-line suppressions of the
+form::
+
+    rng = np.random.default_rng(0)  # maya: ignore[MAYA001]
+    x = anything_goes()             # maya: ignore
+
+A bracketed list suppresses only the named rules on that physical line; a
+bare ``# maya: ignore`` suppresses every rule.  Suppressions apply to the
+line a finding is *reported* on (a multi-line statement is reported on its
+first line).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
+
+from .rules import LintContext, Rule, default_rules
+
+__all__ = [
+    "Diagnostic",
+    "LintEngine",
+    "lint_paths",
+    "iter_python_files",
+    "parse_suppressions",
+    "format_text",
+    "format_json",
+]
+
+_SUPPRESSION_RE = re.compile(r"#\s*maya:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+#: Rule id used for files that fail to parse.
+SYNTAX_ERROR_RULE = "MAYA000"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where, which rule, how bad, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Per-line suppression map: line number -> rule ids, or None for all."""
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group(1)
+        if listed is None or not listed.strip():
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(
+                rule.strip().upper() for rule in listed.split(",") if rule.strip()
+            )
+    return suppressions
+
+
+def iter_python_files(paths: Iterable) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    seen = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                yield candidate
+
+
+class LintEngine:
+    """Run a rule set over sources, files, or directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules = tuple(rules) if rules is not None else default_rules()
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Diagnostic]:
+        """Lint one module given as a string."""
+        normalized = str(path).replace("\\", "/")
+        try:
+            tree = ast.parse(source, filename=normalized)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    path=normalized,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id=SYNTAX_ERROR_RULE,
+                    severity="error",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        source_lines = tuple(source.splitlines())
+        suppressions = parse_suppressions(source_lines)
+        ctx = LintContext(path=normalized, source_lines=source_lines)
+
+        diagnostics: List[Diagnostic] = []
+        for rule in self.rules:
+            for line, col, message in rule.check(tree, ctx):
+                suppressed = suppressions.get(line, frozenset())
+                if suppressed is None or rule.rule_id in suppressed:
+                    continue
+                diagnostics.append(
+                    Diagnostic(
+                        path=normalized,
+                        line=line,
+                        col=col,
+                        rule_id=rule.rule_id,
+                        severity=rule.severity,
+                        message=message,
+                    )
+                )
+        return sorted(diagnostics)
+
+    def lint_file(self, path) -> List[Diagnostic]:
+        path = Path(path)
+        return self.lint_source(path.read_text(encoding="utf-8"), str(path))
+
+    def lint_paths(self, paths: Iterable) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for path in iter_python_files(paths):
+            diagnostics.extend(self.lint_file(path))
+        return diagnostics
+
+
+def lint_paths(paths: Iterable, rules: Optional[Sequence[Rule]] = None) -> List[Diagnostic]:
+    """Convenience wrapper: lint ``paths`` with the default (or given) rules."""
+    return LintEngine(rules).lint_paths(paths)
+
+
+def format_text(diagnostics: Sequence[Diagnostic]) -> str:
+    lines = [diag.format() for diag in diagnostics]
+    lines.append(
+        f"{len(diagnostics)} finding(s)" if diagnostics else "clean: 0 findings"
+    )
+    return "\n".join(lines)
+
+
+def format_json(diagnostics: Sequence[Diagnostic]) -> str:
+    payload = {
+        "findings": [diag.as_dict() for diag in diagnostics],
+        "total": len(diagnostics),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

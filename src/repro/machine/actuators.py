@@ -62,7 +62,7 @@ class QuantizedActuator:
     def normalize(self, value: float) -> float:
         """Map a level to [0, 1] over the actuator's range."""
         span = self.max_level - self.min_level
-        if span == 0.0:
+        if abs(span) < 1e-12:
             return 0.0
         return (float(value) - self.min_level) / span
 

@@ -76,7 +76,7 @@ class Phase:
     def activity_at(self, work_time: np.ndarray) -> np.ndarray:
         """Switching activity as a function of work-time into the phase."""
         work_time = np.asarray(work_time, dtype=float)
-        if self.osc_amplitude == 0.0:
+        if abs(self.osc_amplitude) < 1e-12:
             return np.full(work_time.shape, self.activity)
         wave = np.sin(2.0 * np.pi * work_time / self.osc_period_s)
         activity = self.activity * (1.0 + self.osc_amplitude * wave)

@@ -1,0 +1,9 @@
+"""MAYA003 fixture: float literal equality comparisons."""
+
+__all__ = ["check"]
+
+
+def check(x, y):
+    if x == 0.3:
+        return True
+    return y != -1.5

@@ -1,0 +1,3 @@
+"""MAYA005 fixture: a public module with no __all__ declaration."""
+
+VISIBLE = 1

@@ -1,0 +1,13 @@
+"""MAYA004 fixture: mutable default arguments."""
+
+__all__ = ["accumulate", "tabulate"]
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tabulate(key, table=dict(), *, tags=set()):
+    table[key] = tags
+    return table

@@ -1,0 +1,14 @@
+"""MAYA001 fixture: direct randomness outside repro.machine.rng."""
+
+import random
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw():
+    np.random.seed(0)
+    legacy = random.random()
+    rng = np.random.default_rng(1234)
+    return legacy + float(rng.normal())

@@ -1,0 +1,10 @@
+"""MAYA002 fixture: wall-clock reads outside the sanctioned timing sites."""
+
+import time
+from datetime import datetime
+
+__all__ = ["now"]
+
+
+def now():
+    return time.time(), time.perf_counter(), datetime.now()

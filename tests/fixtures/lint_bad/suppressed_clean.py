@@ -1,0 +1,14 @@
+"""Suppression fixture: every violation carries a justified ignore."""
+
+import numpy as np
+
+__all__ = ["draw", "near_zero"]
+
+
+def draw():
+    # Fixture-only: demonstrates the escape hatch, not a sanctioned stream.
+    return np.random.default_rng(0).normal()  # maya: ignore[MAYA001]
+
+
+def near_zero(x):
+    return x == 0.0  # maya: ignore

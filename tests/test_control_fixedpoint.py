@@ -4,7 +4,26 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.control import FixedPointController, FixedPointFormat, StateSpace
+from repro.control import (
+    FixedPointController,
+    FixedPointFormat,
+    FixedPointOverflowError,
+    StateSpace,
+)
+
+
+class TruncatingFormat(FixedPointFormat):
+    """The pre-fix behaviour: post-multiply rescale by arithmetic shift."""
+
+    def multiply(self, a, b):
+        wide = a.astype(np.int64) @ b.astype(np.int64)
+        return wide >> self.fraction_bits
+
+
+def scalar_system(a, b=0.5, c=1.0, d=0.0):
+    return StateSpace(
+        np.array([[a]]), np.array([[b]]), np.array([[c]]), np.array([[d]])
+    )
 
 
 class TestFormat:
@@ -34,6 +53,102 @@ class TestFormat:
         b = fmt.quantize(np.array([[2.0], [4.0]]))
         out = fmt.to_float(fmt.multiply(a, b))
         assert out[0, 0] == pytest.approx(2.0)
+
+    def test_describe(self):
+        assert FixedPointFormat().describe() == "Q7.24"
+        assert FixedPointFormat(3, 12).describe() == "Q3.12"
+
+    def test_saturation_mask_and_predicate(self):
+        fmt = FixedPointFormat(integer_bits=7, fraction_bits=16)
+        values = np.array([0.5, 127.0, 200.0, -300.0])
+        assert fmt.saturation_mask(values).tolist() == [False, False, True, True]
+        assert fmt.saturates(values)
+        assert not fmt.saturates(values[:2])
+
+
+class TestRoundingMultiply:
+    def test_rescale_rounds_to_nearest(self):
+        # Q7.4: raw 5 * raw 5 = 25; truncation gives 25 >> 4 = 1, the
+        # nearest representable is round(25 / 16) = 2.
+        fmt = FixedPointFormat(integer_bits=7, fraction_bits=4)
+        a = np.array([[5]], dtype=np.int64)
+        b = np.array([[5]], dtype=np.int64)
+        assert fmt.multiply(a, b)[0, 0] == 2
+        assert TruncatingFormat(7, 4).multiply(a, b)[0, 0] == 1
+
+    def test_negative_products_round_to_nearest(self):
+        # exact -23/16 = -1.4375: truncation floors to -2, rounding gives -1.
+        fmt = FixedPointFormat(integer_bits=7, fraction_bits=4)
+        a = np.array([[-23]], dtype=np.int64)
+        b = np.array([[1]], dtype=np.int64)
+        assert fmt.multiply(a, b)[0, 0] == -1
+        assert TruncatingFormat(7, 4).multiply(a, b)[0, 0] == -2
+
+    def test_long_run_drift_below_truncation(self):
+        """Regression (satellite): round-to-nearest rescaling removes the
+        half-LSB-per-multiply bias that truncation accumulates into the
+        controller state over long step() sequences."""
+        # Coefficients exactly representable in Q7.10, so the float
+        # simulation and the fixed-point matrices agree perfectly and the
+        # only error source is the post-multiply rescaling.
+        matrices = scalar_system(1015.0 / 1024.0, b=0.5, c=1.0, d=0.0)
+        fmt_round = FixedPointFormat(integer_bits=7, fraction_bits=10)
+        fmt_trunc = TruncatingFormat(integer_bits=7, fraction_bits=10)
+        rounded = FixedPointController(matrices, fmt_round)
+        truncated = FixedPointController(matrices, fmt_trunc)
+
+        state = np.zeros(1)
+        errors = 0.05 + 0.02 * np.sin(np.arange(2000) / 37.0)
+        drift_round = 0.0
+        drift_trunc = 0.0
+        for error in errors:
+            state, u_float = matrices.step(state, np.array([error]))
+            drift_round = max(drift_round, abs(float(rounded.step(error)[0] - u_float[0])))
+            drift_trunc = max(drift_trunc, abs(float(truncated.step(error)[0] - u_float[0])))
+        # Truncation biases every A*x product low; through the 1/(1-a) DC
+        # gain that becomes a large steady offset.  Rounding keeps the
+        # rescaling error zero-mean, roughly halving the worst drift.
+        assert drift_round < 0.05
+        assert drift_trunc > 2.0 * drift_round
+
+    def test_long_run_drift_on_synthesized_controller(self, sys1_design):
+        matrices = sys1_design.controller.as_equation1()
+        fixed = FixedPointController(matrices, FixedPointFormat(7, 16))
+        state = np.zeros(matrices.n_states)
+        worst = 0.0
+        errors = 0.1 * np.sin(np.arange(1500) / 23.0)
+        for error in errors:
+            state, u_float = matrices.step(state, np.array([float(error)]))
+            u_fixed = fixed.step(float(error))
+            worst = max(worst, float(np.max(np.abs(u_fixed - u_float))))
+        assert worst < 5e-3
+
+
+class TestSaturationPolicy:
+    def test_default_raises_on_overflow(self):
+        with pytest.raises(FixedPointOverflowError, match="D"):
+            FixedPointController(scalar_system(0.5, d=300.0))
+
+    def test_error_names_every_clipped_matrix(self):
+        with pytest.raises(FixedPointOverflowError, match="B, D"):
+            FixedPointController(scalar_system(0.5, b=200.0, d=300.0))
+
+    def test_warn_policy_saturates_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="Q7.24"):
+            fixed = FixedPointController(scalar_system(0.5, d=300.0), on_clip="warn")
+        fmt = fixed.fmt
+        assert fixed.fmt.to_float(fixed._d)[0, 0] == pytest.approx(fmt.max_value)
+
+    def test_ignore_policy_is_silent_legacy_behaviour(self):
+        fixed = FixedPointController(scalar_system(0.5, d=300.0), on_clip="ignore")
+        assert fixed.fmt.to_float(fixed._d)[0, 0] == pytest.approx(fixed.fmt.max_value)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_clip"):
+            FixedPointController(scalar_system(0.5), on_clip="explode")
+
+    def test_in_range_matrices_never_trigger(self, sys1_design):
+        FixedPointController(sys1_design.controller.as_equation1())  # no raise
 
 
 class TestFixedPointController:

@@ -1,0 +1,143 @@
+"""Tests for repro.lint.certify: the model-level controller verifier."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.control import FixedPointFormat, StateSpace
+from repro.core.config import MayaConfig
+from repro.core.maya import build_maya_design
+from repro.lint import (
+    DEFAULT_STORAGE_BUDGET_BYTES,
+    CertificationError,
+    certify_controller,
+    certify_design,
+)
+from repro.machine import SYS2, SYS3
+
+
+def scalar_system(a, b=0.5, c=1.0, d=0.0):
+    return StateSpace(
+        np.array([[a]]), np.array([[b]]), np.array([[c]]), np.array([[d]])
+    )
+
+
+@pytest.fixture(scope="module")
+def sys2_design():
+    return build_maya_design(SYS2, MayaConfig(sysid_intervals=400), seed=1234)
+
+
+@pytest.fixture(scope="module")
+def sys3_design():
+    return build_maya_design(SYS3, MayaConfig(sysid_intervals=400), seed=1234)
+
+
+class TestRejections:
+    def test_rejects_unstable_statespace(self):
+        cert = certify_controller(scalar_system(1.05))
+        assert not cert.ok
+        assert any("unstable" in v for v in cert.violations)
+
+    def test_rejects_marginally_unstable_pole_off_plus_one(self):
+        # |λ| = 1 but λ ≠ +1: an oscillator, not an integrator.
+        rotation = np.array(
+            [[np.cos(0.4), -np.sin(0.4)], [np.sin(0.4), np.cos(0.4)]]
+        )
+        matrices = StateSpace(
+            rotation, np.ones((2, 1)), np.ones((1, 2)), np.zeros((1, 1))
+        )
+        cert = certify_controller(matrices)
+        assert any("unstable" in v for v in cert.violations)
+
+    def test_rejects_overflowing_matrices(self):
+        cert = certify_controller(scalar_system(0.5, d=300.0))
+        assert not cert.ok
+        assert cert.saturated_entries == 1
+        assert any("saturation" in v and "D" in v for v in cert.violations)
+
+    def test_rejects_second_integrator_by_default(self):
+        double_integrator = StateSpace(
+            np.eye(2), np.ones((2, 1)), np.ones((1, 2)), np.zeros((1, 1))
+        )
+        cert = certify_controller(double_integrator)
+        assert any("integrator" in v for v in cert.violations)
+        relaxed = certify_controller(double_integrator, allow_integrators=2)
+        assert not any("integrator pole(s) at +1" in v for v in relaxed.violations)
+
+    def test_strict_mode_rejects_single_integrator(self):
+        cert = certify_controller(scalar_system(1.0), allow_integrators=0)
+        assert not cert.ok
+
+    def test_rejects_quantization_error_above_custom_bound(self):
+        coarse = FixedPointFormat(integer_bits=7, fraction_bits=4)
+        cert = certify_controller(scalar_system(0.5, d=0.1), coarse, error_bound=1e-9)
+        assert any("quantization error" in v for v in cert.violations)
+
+    def test_rejects_storage_over_budget(self):
+        n = 16  # (256 + 16 + 16 + 1 + 16) * 4 B = 1220 B > 1024 B
+        matrices = StateSpace(
+            0.5 * np.eye(n), np.ones((n, 1)), np.ones((1, n)), np.zeros((1, 1))
+        )
+        cert = certify_controller(matrices)
+        assert cert.storage_bytes > DEFAULT_STORAGE_BUDGET_BYTES
+        assert any("storage" in v for v in cert.violations)
+
+    def test_raise_if_invalid(self):
+        with pytest.raises(CertificationError, match="unstable"):
+            certify_controller(scalar_system(1.05)).raise_if_invalid()
+
+
+class TestAcceptance:
+    def test_accepts_stable_scalar_system(self):
+        cert = certify_controller(scalar_system(0.9))
+        assert cert.ok
+        assert cert.raise_if_invalid() is cert
+
+    def test_accepts_sys1_controller(self, sys1_design):
+        cert = certify_design(sys1_design.controller)
+        assert cert.ok, cert.violations
+        assert cert.integrator_poles == 1
+        assert cert.n_states == 11  # the paper's controller dimension
+        assert cert.storage_bytes < DEFAULT_STORAGE_BUDGET_BYTES
+
+    def test_accepts_sys2_controller(self, sys2_design):
+        cert = certify_design(sys2_design.controller)
+        assert cert.ok, cert.violations
+        assert cert.non_integrator_radius < 1.0
+
+    def test_accepts_sys3_controller(self, sys3_design):
+        cert = certify_design(sys3_design.controller)
+        assert cert.ok, cert.violations
+        assert cert.max_quantization_error <= cert.quantization_error_bound
+
+    def test_certify_design_matches_certify_controller(self, sys1_design):
+        direct = certify_controller(sys1_design.controller.as_equation1())
+        via_design = certify_design(sys1_design.controller)
+        assert direct == via_design
+
+
+class TestCertificateArtifact:
+    def test_json_round_trip(self):
+        cert = certify_controller(scalar_system(0.9))
+        payload = json.loads(cert.to_json())
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["format"] == "Q7.24"
+        assert payload["storage_budget_bytes"] == DEFAULT_STORAGE_BUDGET_BYTES
+
+    def test_json_records_violations(self):
+        cert = certify_controller(scalar_system(1.05, d=300.0))
+        payload = json.loads(cert.to_json())
+        assert payload["ok"] is False
+        assert len(payload["violations"]) >= 2
+
+    def test_reports_quantized_spectral_radius(self):
+        cert = certify_controller(scalar_system(0.9))
+        assert cert.quantized_spectral_radius == pytest.approx(0.9, abs=1e-6)
+
+    def test_scalar_integrator_quantizes_exactly(self):
+        cert = certify_controller(scalar_system(1.0))
+        assert cert.ok
+        assert cert.integrator_poles == 1
+        assert cert.quantized_spectral_radius == pytest.approx(1.0, abs=1e-12)

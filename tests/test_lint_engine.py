@@ -1,0 +1,137 @@
+"""Engine/CLI tests: file discovery, the known-bad fixture corpus, and the
+gate asserting the shipped ``src/repro`` tree is lint-clean."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import Diagnostic, LintEngine, lint_paths
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures" / "lint_bad"
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(PACKAGE_DIR.parent) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+class TestDiscovery:
+    def test_directory_walk_finds_all_fixtures(self):
+        diags = lint_paths([FIXTURE_DIR])
+        paths = {Path(d.path).name for d in diags}
+        assert "bad_random.py" in paths
+        assert "suppressed_clean.py" not in paths  # fully suppressed
+        assert "README.md" not in paths
+
+    def test_single_file_and_duplicate_paths(self):
+        target = FIXTURE_DIR / "bad_bare_except.py"
+        once = lint_paths([target])
+        twice = lint_paths([target, target])
+        assert [d.rule_id for d in once] == ["MAYA006"]
+        assert once == twice  # deduplicated
+
+    def test_diagnostics_are_ordered_and_formatted(self):
+        diags = lint_paths([FIXTURE_DIR])
+        assert diags == sorted(diags)
+        sample = diags[0]
+        assert isinstance(sample, Diagnostic)
+        text = sample.format()
+        assert sample.rule_id in text and f":{sample.line}:" in text
+
+
+class TestFixtureCorpus:
+    """Each bad_* fixture trips exactly the rule it is named for."""
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("bad_random.py", {"MAYA001"}),
+            ("bad_wallclock.py", {"MAYA002"}),
+            ("bad_float_eq.py", {"MAYA003"}),
+            ("bad_mutable_default.py", {"MAYA004"}),
+            ("bad_missing_all.py", {"MAYA005"}),
+            ("bad_bare_except.py", {"MAYA006"}),
+        ],
+    )
+    def test_fixture_trips_its_rule(self, name, expected):
+        diags = LintEngine().lint_file(FIXTURE_DIR / name)
+        assert {d.rule_id for d in diags} == expected
+
+    def test_bad_random_reports_every_call_site(self):
+        diags = LintEngine().lint_file(FIXTURE_DIR / "bad_random.py")
+        # import random, np.random.seed, random.random, np.random.default_rng
+        assert len(diags) == 4
+
+    def test_suppressed_fixture_is_clean(self):
+        assert LintEngine().lint_file(FIXTURE_DIR / "suppressed_clean.py") == []
+
+
+class TestSourceTreeGate:
+    """The shipped package must satisfy its own linter."""
+
+    def test_src_repro_is_lint_clean(self):
+        diags = lint_paths([PACKAGE_DIR])
+        assert diags == [], "\n".join(d.format() for d in diags)
+
+
+class TestCli:
+    def test_exit_zero_and_clean_message_on_src(self):
+        proc = run_cli(str(PACKAGE_DIR))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_exit_nonzero_with_rule_ids_on_fixtures(self):
+        proc = run_cli(str(FIXTURE_DIR))
+        assert proc.returncode == 1
+        for rule_id in ("MAYA001", "MAYA002", "MAYA003", "MAYA004", "MAYA005", "MAYA006"):
+            assert rule_id in proc.stdout
+
+    def test_json_format_is_parseable(self):
+        proc = run_cli("--format", "json", str(FIXTURE_DIR))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["total"] == len(payload["findings"])
+        ids = {finding["rule_id"] for finding in payload["findings"]}
+        assert {"MAYA001", "MAYA002", "MAYA003", "MAYA004", "MAYA005", "MAYA006"} <= ids
+        sample = payload["findings"][0]
+        assert {"path", "line", "col", "rule_id", "severity", "message"} <= set(sample)
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_cli("no/such/path.py")
+        assert proc.returncode == 2
+        assert "no such path" in proc.stderr
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        assert "MAYA001" in proc.stdout and "MAYA006" in proc.stdout
+
+    def test_default_target_is_package_and_clean(self):
+        proc = run_cli()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_certify_unknown_platform_is_usage_error(self):
+        proc = run_cli("--certify", "sys9")
+        assert proc.returncode == 2
+        assert "unknown platform" in proc.stderr
+
+    def test_certify_sys1_prints_clean_certificate(self):
+        proc = run_cli("--certify", "sys1", "--seed", "1234")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is True
+        assert payload["n_states"] == 11
+        assert payload["integrator_poles"] == 1
+        assert payload["storage_bytes"] < payload["storage_budget_bytes"]

@@ -1,0 +1,293 @@
+"""Unit tests for the MAYA rule set on fixture snippets."""
+
+import textwrap
+
+from repro.lint import LintEngine, all_rule_ids
+from repro.lint.engine import parse_suppressions
+
+
+def lint(source, path="src/repro/example.py"):
+    return LintEngine().lint_source(textwrap.dedent(source), path)
+
+
+def rule_ids(source, path="src/repro/example.py"):
+    return [diag.rule_id for diag in lint(source, path)]
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert all_rule_ids() == (
+            "MAYA001",
+            "MAYA002",
+            "MAYA003",
+            "MAYA004",
+            "MAYA005",
+            "MAYA006",
+        )
+
+
+class TestDirectRandomness:
+    def test_flags_default_rng(self):
+        src = """\
+        import numpy as np
+        __all__ = []
+        rng = np.random.default_rng(0)
+        """
+        assert rule_ids(src) == ["MAYA001"]
+
+    def test_flags_legacy_global_seed(self):
+        src = """\
+        import numpy
+        __all__ = []
+        numpy.random.seed(42)
+        """
+        assert rule_ids(src) == ["MAYA001"]
+
+    def test_flags_stdlib_random_import_and_call(self):
+        src = """\
+        import random
+        __all__ = []
+        x = random.random()
+        """
+        ids = rule_ids(src)
+        assert ids == ["MAYA001", "MAYA001"]  # the import and the call
+
+    def test_flags_from_import_alias(self):
+        src = """\
+        from numpy import random as nr
+        __all__ = []
+        rng = nr.default_rng(3)
+        """
+        assert rule_ids(src) == ["MAYA001"]
+
+    def test_flags_directly_imported_constructor(self):
+        src = """\
+        from numpy.random import default_rng
+        __all__ = []
+        rng = default_rng(3)
+        """
+        assert rule_ids(src) == ["MAYA001"]
+
+    def test_annotation_only_is_clean(self):
+        src = """\
+        import numpy as np
+        __all__ = []
+
+        def f(rng: np.random.Generator) -> np.random.Generator:
+            return rng
+        """
+        assert rule_ids(src) == []
+
+    def test_rng_module_is_exempt(self):
+        src = """\
+        import numpy as np
+        __all__ = []
+        g = np.random.Generator(np.random.PCG64(7))
+        """
+        assert rule_ids(src, path="src/repro/machine/rng.py") == []
+
+    def test_local_variable_named_random_is_clean(self):
+        src = """\
+        __all__ = []
+
+        def f(rng):
+            return rng.random()
+        """
+        assert rule_ids(src) == []
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        src = """\
+        import time
+        __all__ = []
+        t = time.time()
+        """
+        assert rule_ids(src) == ["MAYA002"]
+
+    def test_flags_renamed_from_import(self):
+        src = """\
+        from time import perf_counter as clock
+        __all__ = []
+        t = clock()
+        """
+        assert rule_ids(src) == ["MAYA002"]
+
+    def test_flags_datetime_now(self):
+        src = """\
+        from datetime import datetime
+        __all__ = []
+        stamp = datetime.now()
+        """
+        assert rule_ids(src) == ["MAYA002"]
+
+    def test_sanctioned_sites_exempt(self):
+        src = """\
+        import time
+        __all__ = []
+        t = time.time()
+        """
+        assert rule_ids(src, path="src/repro/__main__.py") == []
+        assert (
+            rule_ids(src, path="src/repro/experiments/sec7e_controller_cost.py") == []
+        )
+
+    def test_time_sleep_is_clean(self):
+        src = """\
+        import time
+        __all__ = []
+        time.sleep(0)
+        """
+        assert rule_ids(src) == []
+
+
+class TestFloatEquality:
+    def test_flags_equality_with_float_literal(self):
+        assert rule_ids("__all__ = []\nok = x == 0.3\n") == ["MAYA003"]
+
+    def test_flags_inequality_and_negative_literals(self):
+        assert rule_ids("__all__ = []\nok = y != -1.5\n") == ["MAYA003"]
+
+    def test_flags_literal_on_left(self):
+        assert rule_ids("__all__ = []\nok = 0.0 == z\n") == ["MAYA003"]
+
+    def test_integer_comparison_is_clean(self):
+        assert rule_ids("__all__ = []\nok = x == 0\n") == []
+
+    def test_ordering_comparison_is_clean(self):
+        assert rule_ids("__all__ = []\nok = x < 0.3\n") == []
+
+    def test_chained_comparison_reported_once(self):
+        assert rule_ids("__all__ = []\nok = 0.0 == x == 1.0\n") == ["MAYA003"]
+
+
+class TestMutableDefault:
+    def test_flags_list_dict_set_literals(self):
+        src = """\
+        __all__ = []
+
+        def f(a=[], b={}, c=set()):
+            return a, b, c
+        """
+        assert rule_ids(src) == ["MAYA004"] * 3
+
+    def test_flags_keyword_only_defaults(self):
+        src = """\
+        __all__ = []
+
+        def f(*, table=dict()):
+            return table
+        """
+        assert rule_ids(src) == ["MAYA004"]
+
+    def test_flags_lambda_defaults(self):
+        assert rule_ids("__all__ = []\nf = lambda a=[]: a\n") == ["MAYA004"]
+
+    def test_immutable_defaults_are_clean(self):
+        src = """\
+        __all__ = []
+
+        def f(a=None, b=(), c=0, d="x", e=frozenset()):
+            return a, b, c, d, e
+        """
+        assert rule_ids(src) == []
+
+
+class TestMissingAll:
+    def test_flags_module_without_all(self):
+        assert rule_ids("x = 1\n") == ["MAYA005"]
+
+    def test_module_with_all_is_clean(self):
+        assert rule_ids('__all__ = ["x"]\nx = 1\n') == []
+
+    def test_annotated_all_is_clean(self):
+        assert rule_ids('__all__: list = ["x"]\nx = 1\n') == []
+
+    def test_underscore_modules_exempt(self):
+        assert rule_ids("x = 1\n", path="src/repro/__main__.py") == []
+        assert rule_ids("x = 1\n", path="src/repro/_helper.py") == []
+
+    def test_reported_on_line_one(self):
+        diag = lint("x = 1\n")[0]
+        assert (diag.rule_id, diag.line) == ("MAYA005", 1)
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        src = """\
+        __all__ = []
+        try:
+            x = 1
+        except:
+            pass
+        """
+        assert rule_ids(src) == ["MAYA006"]
+
+    def test_typed_except_is_clean(self):
+        src = """\
+        __all__ = []
+        try:
+            x = 1
+        except ValueError:
+            pass
+        """
+        assert rule_ids(src) == []
+
+
+class TestSyntaxErrors:
+    def test_unparseable_module_reports_maya000(self):
+        diags = lint("def broken(:\n")
+        assert [d.rule_id for d in diags] == ["MAYA000"]
+        assert diags[0].severity == "error"
+
+
+class TestSuppression:
+    def test_targeted_ignore_suppresses_only_named_rule(self):
+        src = """\
+        import numpy as np
+        __all__ = []
+        rng = np.random.default_rng(0)  # maya: ignore[MAYA001]
+        """
+        assert rule_ids(src) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = """\
+        import numpy as np
+        __all__ = []
+        rng = np.random.default_rng(0)  # maya: ignore[MAYA003]
+        """
+        assert rule_ids(src) == ["MAYA001"]
+
+    def test_bare_ignore_suppresses_everything_on_line(self):
+        src = """\
+        __all__ = []
+        ok = x == 0.3  # maya: ignore
+        """
+        assert rule_ids(src) == []
+
+    def test_ignore_on_other_line_has_no_effect(self):
+        src = """\
+        __all__ = []
+        # maya: ignore[MAYA003]
+        ok = x == 0.3
+        """
+        assert rule_ids(src) == ["MAYA003"]
+
+    def test_multiple_ids_in_one_ignore(self):
+        src = """\
+        import numpy as np
+        __all__ = []
+        ok = np.random.default_rng(0).normal() == 0.5  # maya: ignore[MAYA001, MAYA003]
+        """
+        assert rule_ids(src) == []
+
+    def test_parse_suppressions_shapes(self):
+        lines = (
+            "x = 1",
+            "y = 2  # maya: ignore",
+            "z = 3  # maya: ignore[MAYA001,MAYA002]",
+        )
+        supp = parse_suppressions(lines)
+        assert 1 not in supp
+        assert supp[2] is None
+        assert supp[3] == frozenset({"MAYA001", "MAYA002"})
