@@ -94,17 +94,17 @@ def run_session(
             if completion_deadline is not None and interval_index >= completion_deadline:
                 break
 
-        power, temperature = machine.advance(interval_s, settings)
-        measurement = sensor.measure_window(power, machine.tick_s)
+        power_w, temperature_c = machine.advance(interval_s, settings)
+        measurement_w = sensor.measure_window(power_w, machine.tick_s)
 
-        power_chunks.append(power)
-        if temperature.size:
-            temp_chunks.append(temperature)
-        measured.append(measurement)
+        power_chunks.append(power_w)
+        if temperature_c.size:
+            temp_chunks.append(temperature_c)
+        measured.append(measurement_w)
         targets.append(defense.current_target_w)
         settings_log.append(settings.as_vector())
 
-        settings = defense.decide(measurement)
+        settings = defense.decide(measurement_w)
         interval_index += 1
 
     return Trace(

@@ -8,6 +8,11 @@ Two halves, both motivated by the paper's formal-guarantee story:
   ``np.random`` use outside :mod:`repro.machine.rng`, wall-clock reads
   outside the sanctioned timing sites, float ``==`` comparisons, mutable
   default arguments, missing ``__all__``, bare ``except``).
+* :mod:`repro.lint.dataflow` — interprocedural dataflow analyses over the
+  same parse: physical-unit checking from the repo's naming conventions
+  (MAYA010-MAYA013) and secret-taint certification of the mask/control
+  packages (MAYA020-MAYA022), the latter emitting a JSON leakage
+  certificate.
 * :mod:`repro.lint.certify` — a model-level verifier that statically
   certifies a synthesized Equation-1 :class:`~repro.control.statespace.StateSpace`
   against a :class:`~repro.control.fixedpoint.FixedPointFormat` without
@@ -26,7 +31,15 @@ from .certify import (
     certify_controller,
     certify_design,
 )
-from .engine import Diagnostic, LintEngine, lint_paths
+from .dataflow import (
+    DataflowContext,
+    Unit,
+    analyze_taint,
+    analyze_units,
+    leakage_certificate,
+    unit_of_name,
+)
+from .engine import Diagnostic, LintEngine, LintReport, format_github, lint_paths
 from .rules import Rule, all_rule_ids, default_rules
 
 __all__ = [
@@ -35,8 +48,16 @@ __all__ = [
     "ControllerCertificate",
     "certify_controller",
     "certify_design",
+    "DataflowContext",
+    "Unit",
+    "analyze_taint",
+    "analyze_units",
+    "leakage_certificate",
+    "unit_of_name",
     "Diagnostic",
     "LintEngine",
+    "LintReport",
+    "format_github",
     "lint_paths",
     "Rule",
     "all_rule_ids",

@@ -1,8 +1,15 @@
-"""CLI: ``python -m repro.lint [--format json] [paths...]``.
+"""CLI: ``python -m repro.lint [--analyze units] [--format json] [paths...]``.
 
-With no paths, lints the installed ``repro`` package tree.  Exits 0 when
-clean, 1 when any finding is reported (including warnings — the gate is
-strict), 2 on usage errors.
+With no paths, lints the installed ``repro`` package tree.  Exit codes:
+
+* ``0`` — clean (no findings after baseline filtering);
+* ``1`` — findings were reported, or a certificate failed;
+* ``2`` — usage error or a file that does not parse (MAYA000).
+
+``--analyze units`` / ``--analyze taint`` enable the whole-project
+dataflow analyses (repeatable); ``--analyze taint`` additionally emits the
+JSON leakage certificate.  ``--baseline FILE`` filters out previously
+recorded findings; ``--write-baseline FILE`` records the current ones.
 
 ``--certify PLATFORM`` switches to the model-level verifier: it runs
 system identification and controller synthesis for the platform (sys1,
@@ -14,11 +21,15 @@ certificate, and exits 0 only if the certificate is clean.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
+from typing import List, Sequence
 
-from .engine import LintEngine, format_json, format_text
+from .engine import Diagnostic, LintEngine, format_github, format_json, format_text
 from .rules import default_rules
+
+BASELINE_SCHEMA = "maya.lint.baseline.v1"
 
 
 def _default_target() -> str:
@@ -38,9 +49,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="append",
+        choices=("units", "taint"),
+        default=None,
+        metavar="ANALYSIS",
+        help="enable a whole-project dataflow analysis (units, taint); "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the (unfiltered) findings to a baseline file and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -89,11 +119,47 @@ def _certify(platform: str, seed: int, sysid_intervals: int) -> int:
     return 0 if certificate.ok else 1
 
 
+def _fingerprint(diag: Diagnostic) -> tuple:
+    return (diag.path, diag.rule_id, diag.message)
+
+
+def _load_baseline(path: str) -> set:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"repro.lint: cannot read baseline {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    entries = payload.get("entries", []) if isinstance(payload, dict) else []
+    return {
+        (entry["path"], entry["rule_id"], entry["message"])
+        for entry in entries
+        if isinstance(entry, dict)
+        and {"path", "rule_id", "message"} <= set(entry)
+    }
+
+
+def _write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> None:
+    entries = sorted(
+        {_fingerprint(diag) for diag in diagnostics}
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"path": p, "rule_id": r, "message": m} for p, r, m in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    analyses = tuple(dict.fromkeys(args.analyze or ()))
 
     if args.list_rules:
-        for rule in default_rules():
+        from .dataflow import dataflow_rules
+
+        rules: List = list(default_rules()) + list(dataflow_rules(("units", "taint")))
+        for rule in rules:
             print(f"{rule.rule_id} [{rule.severity}] {rule.summary}")
         return 0
 
@@ -106,12 +172,43 @@ def main(argv=None) -> int:
         print(f"repro.lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    diagnostics = LintEngine().lint_paths(paths)
+    report = LintEngine(analyses=analyses).run_paths(paths)
+    diagnostics = report.diagnostics
+
+    if args.write_baseline:
+        _write_baseline(args.write_baseline, diagnostics)
+        print(
+            f"wrote {len(diagnostics)} finding(s) to baseline "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline:
+        known = _load_baseline(args.baseline)
+        diagnostics = [
+            diag for diag in diagnostics if _fingerprint(diag) not in known
+        ]
+
     if args.format == "json":
-        print(format_json(diagnostics))
+        print(format_json(diagnostics, certificate=report.certificate))
+    elif args.format == "github":
+        output = format_github(diagnostics)
+        if output:
+            print(output)
+        if report.certificate is not None and not report.certificate["ok"]:
+            print("::error title=leakage-certificate::taint certificate failed")
     else:
         print(format_text(diagnostics))
-    return 1 if diagnostics else 0
+        if report.certificate is not None:
+            print(json.dumps(report.certificate, indent=2, sort_keys=True))
+
+    if report.has_syntax_error:
+        return 2
+    if diagnostics:
+        return 1
+    if report.certificate is not None and not report.certificate["ok"]:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -8,9 +8,16 @@ form::
     x = anything_goes()             # maya: ignore
 
 A bracketed list suppresses only the named rules on that physical line; a
-bare ``# maya: ignore`` suppresses every rule.  Suppressions apply to the
-line a finding is *reported* on (a multi-line statement is reported on its
-first line).
+bare ``# maya: ignore`` suppresses every rule.  Suppressions apply to any
+line of the statement a finding is reported on: for a multi-line (simple)
+statement the comment may sit on the first *or* the last physical line.
+
+The engine parses each file exactly once.  When constructed with
+``analyses`` (``"units"`` and/or ``"taint"``), the parsed trees are also
+fed to the whole-project dataflow pass (:mod:`repro.lint.dataflow`) and
+its findings are reported through the same suppression and formatting
+machinery; the taint analysis additionally yields a leakage certificate,
+carried on the returned :class:`LintReport`.
 """
 
 from __future__ import annotations
@@ -18,20 +25,23 @@ from __future__ import annotations
 import ast
 import json
 import re
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .rules import LintContext, Rule, default_rules
 
 __all__ = [
     "Diagnostic",
     "LintEngine",
+    "LintReport",
     "lint_paths",
     "iter_python_files",
     "parse_suppressions",
+    "statement_extents",
     "format_text",
     "format_json",
+    "format_github",
 ]
 
 _SUPPRESSION_RE = re.compile(r"#\s*maya:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
@@ -78,6 +88,61 @@ def parse_suppressions(source_lines: Sequence[str]) -> Dict[int, Optional[Frozen
     return suppressions
 
 
+#: Simple (non-compound) statements: a suppression on their last physical
+#: line covers the whole statement extent.
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+    ast.Pass,
+)
+
+
+def statement_extents(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(first, last) line pairs of every multi-line simple statement."""
+    extents = []
+    for node in ast.walk(tree):
+        if isinstance(node, _SIMPLE_STMTS):
+            end = getattr(node, "end_lineno", None)
+            if end is not None and end > node.lineno:
+                extents.append((node.lineno, end))
+    return extents
+
+
+def _merge_suppression(
+    a: Optional[FrozenSet[str]], b: Optional[FrozenSet[str]]
+) -> Optional[FrozenSet[str]]:
+    if a is None or b is None:
+        return None  # a blanket ``# maya: ignore`` wins
+    return a | b
+
+
+def extend_suppressions(
+    tree: ast.Module, suppressions: Dict[int, Optional[FrozenSet[str]]]
+) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Spread a suppression on the last line of a multi-line simple
+    statement across the statement's whole extent."""
+    if not suppressions:
+        return suppressions
+    out = dict(suppressions)
+    for first, last in statement_extents(tree):
+        if last not in suppressions:
+            continue
+        tail = suppressions[last]
+        for line in range(first, last):
+            out[line] = _merge_suppression(out.get(line, frozenset()), tail)
+    return out
+
+
 def iter_python_files(paths: Iterable) -> Iterator[Path]:
     """Expand files and directories into a sorted stream of ``.py`` files."""
     seen = set()
@@ -94,41 +159,83 @@ def iter_python_files(paths: Iterable) -> Iterator[Path]:
                 yield candidate
 
 
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: The taint analysis' leakage certificate, when it ran.
+    certificate: Optional[dict] = None
+
+    @property
+    def has_syntax_error(self) -> bool:
+        return any(d.rule_id == SYNTAX_ERROR_RULE for d in self.diagnostics)
+
+
+@dataclass
+class _ParsedFile:
+    """One successfully parsed module, ready for rules and dataflow."""
+
+    path: str
+    tree: ast.Module
+    source_lines: tuple
+    suppressions: Dict[int, Optional[FrozenSet[str]]]
+
+
 class LintEngine:
-    """Run a rule set over sources, files, or directory trees."""
+    """Run a rule set (and optional dataflow analyses) over sources."""
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        analyses: Sequence[str] = (),
+    ) -> None:
         self.rules = tuple(rules) if rules is not None else default_rules()
+        self.analyses = tuple(analyses)
 
-    def lint_source(self, source: str, path: str = "<string>") -> List[Diagnostic]:
-        """Lint one module given as a string."""
+    # -- parsing -------------------------------------------------------
+
+    def _parse(self, source: str, path: str):
+        """-> (_ParsedFile, None) or (None, syntax-error Diagnostic)."""
         normalized = str(path).replace("\\", "/")
         try:
             tree = ast.parse(source, filename=normalized)
         except SyntaxError as exc:
-            return [
-                Diagnostic(
-                    path=normalized,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule_id=SYNTAX_ERROR_RULE,
-                    severity="error",
-                    message=f"syntax error: {exc.msg}",
-                )
-            ]
+            return None, Diagnostic(
+                path=normalized,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id=SYNTAX_ERROR_RULE,
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+            )
         source_lines = tuple(source.splitlines())
-        suppressions = parse_suppressions(source_lines)
-        ctx = LintContext(path=normalized, source_lines=source_lines)
+        suppressions = extend_suppressions(tree, parse_suppressions(source_lines))
+        return (
+            _ParsedFile(
+                path=normalized,
+                tree=tree,
+                source_lines=source_lines,
+                suppressions=suppressions,
+            ),
+            None,
+        )
 
+    # -- running -------------------------------------------------------
+
+    def _check_file(self, parsed: _ParsedFile, rules, dataflow) -> List[Diagnostic]:
+        ctx = LintContext(
+            path=parsed.path, source_lines=parsed.source_lines, dataflow=dataflow
+        )
         diagnostics: List[Diagnostic] = []
-        for rule in self.rules:
-            for line, col, message in rule.check(tree, ctx):
-                suppressed = suppressions.get(line, frozenset())
+        for rule in rules:
+            for line, col, message in rule.check(parsed.tree, ctx):
+                suppressed = parsed.suppressions.get(line, frozenset())
                 if suppressed is None or rule.rule_id in suppressed:
                     continue
                 diagnostics.append(
                     Diagnostic(
-                        path=normalized,
+                        path=parsed.path,
                         line=line,
                         col=col,
                         rule_id=rule.rule_id,
@@ -136,17 +243,57 @@ class LintEngine:
                         message=message,
                     )
                 )
-        return sorted(diagnostics)
+        return diagnostics
+
+    def _run(self, parsed_files, syntax_errors) -> LintReport:
+        rules = self.rules
+        dataflow = None
+        if self.analyses:
+            from .dataflow import DataflowContext, dataflow_rules
+
+            dataflow = DataflowContext.build(
+                [(parsed.path, parsed.tree) for parsed in parsed_files],
+                self.analyses,
+            )
+            rules = rules + dataflow_rules(self.analyses)
+        diagnostics = list(syntax_errors)
+        for parsed in parsed_files:
+            diagnostics.extend(self._check_file(parsed, rules, dataflow))
+        return LintReport(
+            diagnostics=sorted(diagnostics),
+            certificate=dataflow.certificate if dataflow is not None else None,
+        )
+
+    def run_source(self, source: str, path: str = "<string>") -> LintReport:
+        """Lint one module given as a string."""
+        parsed, error = self._parse(source, path)
+        if parsed is None:
+            return LintReport(diagnostics=[error])
+        return self._run([parsed], [])
+
+    def run_paths(self, paths: Iterable) -> LintReport:
+        """Lint files/directories; dataflow sees every file at once."""
+        parsed_files: List[_ParsedFile] = []
+        syntax_errors: List[Diagnostic] = []
+        for path in iter_python_files(paths):
+            parsed, error = self._parse(path.read_text(encoding="utf-8"), str(path))
+            if parsed is None:
+                syntax_errors.append(error)
+            else:
+                parsed_files.append(parsed)
+        return self._run(parsed_files, syntax_errors)
+
+    # -- compatibility wrappers ---------------------------------------
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Diagnostic]:
+        return self.run_source(source, path).diagnostics
 
     def lint_file(self, path) -> List[Diagnostic]:
         path = Path(path)
-        return self.lint_source(path.read_text(encoding="utf-8"), str(path))
+        return self.run_paths([path]).diagnostics
 
     def lint_paths(self, paths: Iterable) -> List[Diagnostic]:
-        diagnostics: List[Diagnostic] = []
-        for path in iter_python_files(paths):
-            diagnostics.extend(self.lint_file(path))
-        return diagnostics
+        return self.run_paths(paths).diagnostics
 
 
 def lint_paths(paths: Iterable, rules: Optional[Sequence[Rule]] = None) -> List[Diagnostic]:
@@ -162,9 +309,25 @@ def format_text(diagnostics: Sequence[Diagnostic]) -> str:
     return "\n".join(lines)
 
 
-def format_json(diagnostics: Sequence[Diagnostic]) -> str:
+def format_json(
+    diagnostics: Sequence[Diagnostic], certificate: Optional[dict] = None
+) -> str:
     payload = {
         "findings": [diag.as_dict() for diag in diagnostics],
         "total": len(diagnostics),
     }
+    if certificate is not None:
+        payload["leakage_certificate"] = certificate
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_github(diagnostics: Sequence[Diagnostic]) -> str:
+    """GitHub Actions workflow-command annotations (``::error file=...``)."""
+    lines = []
+    for diag in diagnostics:
+        level = "error" if diag.severity == "error" else "warning"
+        lines.append(
+            f"::{level} file={diag.path},line={diag.line},"
+            f"col={diag.col + 1},title={diag.rule_id}::{diag.message}"
+        )
+    return "\n".join(lines)

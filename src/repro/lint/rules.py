@@ -46,6 +46,10 @@ class LintContext:
     path: str
     #: Physical source lines (used by rules that need raw text).
     source_lines: tuple
+    #: Whole-project dataflow results (a
+    #: :class:`repro.lint.dataflow.DataflowContext`) when the engine was
+    #: configured with ``analyses``; None for plain per-module lint runs.
+    dataflow: object = None
 
     def path_endswith(self, suffixes: tuple) -> bool:
         return any(self.path.endswith(suffix) for suffix in suffixes)

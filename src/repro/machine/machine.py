@@ -148,9 +148,9 @@ class SimulatedMachine:
                 if self.completed and not np.isfinite(self.completed_at_s):
                     self.completed_at_s = self.time_s
 
-        power = np.concatenate(power_chunks) if len(power_chunks) > 1 else power_chunks[0]
+        power_w = np.concatenate(power_chunks) if len(power_chunks) > 1 else power_chunks[0]
         if self.thermal is not None:
-            temperature = self.thermal.advance(power, self.tick_s)
+            temperature_c = self.thermal.advance(power_w, self.tick_s)
         else:
-            temperature = np.empty(0)
-        return power, temperature
+            temperature_c = np.empty(0)
+        return power_w, temperature_c

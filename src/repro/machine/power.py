@@ -127,8 +127,8 @@ class PowerModel:
 
         if n_ticks == 0:
             return np.empty(0)
-        sigma = self.spec.process_noise_w * np.sqrt(1.0 - self.NOISE_RHO**2)
-        shocks = self._rng.normal(0.0, sigma, size=n_ticks)
+        sigma_w = self.spec.process_noise_w * np.sqrt(1.0 - self.NOISE_RHO**2)
+        shocks = self._rng.normal(0.0, sigma_w, size=n_ticks)
         # AR(1): noise[i] = rho * noise[i-1] + shock[i], seeded with the
         # state carried over from the previous window.
         noise, zf = lfilter(
@@ -147,13 +147,13 @@ class PowerModel:
     ) -> np.ndarray:
         """True per-tick power over a window with constant settings."""
         activity = np.asarray(activity, dtype=float)
-        static = self.static_power(freq_ghz)
-        app = self.app_power(activity, core_fraction, freq_ghz, idle_frac)
-        balloon = self.balloon_power(balloon_level, freq_ghz, idle_frac, core_fraction)
-        power = static + app + balloon + self.process_noise(activity.size)
+        static_w = self.static_power(freq_ghz)
+        app_w = self.app_power(activity, core_fraction, freq_ghz, idle_frac)
+        balloon_w = self.balloon_power(balloon_level, freq_ghz, idle_frac, core_fraction)
+        power_w = static_w + app_w + balloon_w + self.process_noise(activity.size)
         # Power can never be negative; noise excursions are clipped the way
         # a physical sensor would never report below ~0 W.
-        return np.maximum(power, 0.1)
+        return np.maximum(power_w, 0.1)
 
     def breakdown(
         self,

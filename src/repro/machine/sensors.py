@@ -55,10 +55,10 @@ class RaplSensor:
         tick_powers = np.asarray(tick_powers, dtype=float)
         if tick_powers.size == 0:
             raise ValueError("cannot measure an empty window")
-        duration = tick_powers.size * tick_s
-        energy = float(tick_powers.sum()) * tick_s
-        energy = np.round(energy / self.ENERGY_QUANTUM_J) * self.ENERGY_QUANTUM_J
-        return energy / duration + float(self._rng.normal(0.0, self.noise_w))
+        duration_s = tick_powers.size * tick_s
+        energy_j = float(tick_powers.sum()) * tick_s
+        energy_j = np.round(energy_j / self.ENERGY_QUANTUM_J) * self.ENERGY_QUANTUM_J
+        return energy_j / duration_s + float(self._rng.normal(0.0, self.noise_w))
 
     def sample_trace(
         self, tick_powers: np.ndarray, tick_s: float, interval_s: float
@@ -74,8 +74,8 @@ class RaplSensor:
                 f"sampling interval {interval_s}s is finer than the tick {tick_s}s"
             )
         means = window_means(tick_powers, window)
-        quant = self.ENERGY_QUANTUM_J / (window * tick_s)
-        means = np.round(means / quant) * quant
+        quant_w = self.ENERGY_QUANTUM_J / (window * tick_s)
+        means = np.round(means / quant_w) * quant_w
         return means + self._rng.normal(0.0, self.noise_w, size=means.size)
 
 
@@ -105,19 +105,19 @@ class OutletMeter:
     def wall_power(self, tick_powers: np.ndarray) -> np.ndarray:
         """Translate domain power into wall power seen at the outlet."""
         tick_powers = np.asarray(tick_powers, dtype=float)
-        platform = self.spec.platform_base_power_w + self._rng.normal(
+        platform_w = self.spec.platform_base_power_w + self._rng.normal(
             0.0, self.platform_noise_w, size=tick_powers.size
         )
-        return (tick_powers + np.maximum(platform, 0.0)) / self.spec.psu_efficiency
+        return (tick_powers + np.maximum(platform_w, 0.0)) / self.spec.psu_efficiency
 
     def sample_trace(self, tick_powers: np.ndarray, tick_s: float) -> np.ndarray:
         """RMS power samples every three AC cycles, as the WT310 reports."""
-        wall = self.wall_power(tick_powers)
+        wall_w = self.wall_power(tick_powers)
         window = int(round(self.sample_interval_s / tick_s))
         window = max(window, 1)
-        n_windows = wall.size // window
+        n_windows = wall_w.size // window
         if n_windows == 0:
             return np.empty(0)
-        chunks = wall[: n_windows * window].reshape(n_windows, window)
-        rms = np.sqrt(np.mean(chunks**2, axis=1))
-        return rms + self._rng.normal(0.0, self.noise_w, size=rms.size)
+        chunks = wall_w[: n_windows * window].reshape(n_windows, window)
+        rms_w = np.sqrt(np.mean(chunks**2, axis=1))
+        return rms_w + self._rng.normal(0.0, self.noise_w, size=rms_w.size)

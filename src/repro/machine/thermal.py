@@ -56,10 +56,10 @@ class ThermalModel:
         if power_w.size == 0:
             return np.empty(0)
         alpha = float(np.exp(-tick_s / self.time_constant_s))
-        targets = self.ambient_c + self.resistance_c_per_w * power_w
+        targets_c = self.ambient_c + self.resistance_c_per_w * power_w
         # temp[i] = alpha * temp[i-1] + (1 - alpha) * target[i]
-        temps, _ = lfilter(
-            [1.0 - alpha], [1.0, -alpha], targets, zi=[alpha * self.temperature_c]
+        temps_c, _ = lfilter(
+            [1.0 - alpha], [1.0, -alpha], targets_c, zi=[alpha * self.temperature_c]
         )
-        self.temperature_c = float(temps[-1])
-        return temps
+        self.temperature_c = float(temps_c[-1])
+        return temps_c

@@ -62,21 +62,21 @@ class UniformRandomMask(SegmentedMask):
     """A random level held for a random duration (Figure 4b)."""
 
     def _draw_parameters(self, rng: np.random.Generator) -> None:
-        self._level = self.low_w + rng.uniform(0.0, 1.0) * self.span_w
+        self._level_w = self.low_w + rng.uniform(0.0, 1.0) * self.span_w
 
     def _evaluate(self, sample_index: int, rng: np.random.Generator) -> float:
-        return self._level
+        return self._level_w
 
 
 class GaussianMask(SegmentedMask):
     """Gaussian samples with mean/variance re-drawn per segment (Fig. 4c)."""
 
     def _draw_parameters(self, rng: np.random.Generator) -> None:
-        self._mu = self.low_w + rng.uniform(0.2, 0.8) * self.span_w
-        self._sigma = rng.uniform(0.02, 0.12) * self.span_w
+        self._mu_w = self.low_w + rng.uniform(0.2, 0.8) * self.span_w
+        self._sigma_w = rng.uniform(0.02, 0.12) * self.span_w
 
     def _evaluate(self, sample_index: int, rng: np.random.Generator) -> float:
-        return float(rng.normal(self._mu, self._sigma))
+        return float(rng.normal(self._mu_w, self._sigma_w))
 
 
 class _SinusoidParams:
@@ -87,8 +87,8 @@ class _SinusoidParams:
         # Offsets sit in the lower half of the band: the paper's deployed
         # mask averages well below the insecure Baseline's power (its
         # Figure 14a shows ~29% average power savings under Maya GS).
-        self.offset = mask.low_w + rng.uniform(0.15, 0.45) * span
-        self.amp = rng.uniform(0.08, 0.30) * span
+        self.offset_w = mask.low_w + rng.uniform(0.15, 0.45) * span
+        self.amp_w = rng.uniform(0.08, 0.30) * span
         # Period in samples: >= 2 (Nyquist, Section V-B), and short enough
         # that every N_hold segment contains multiple cycles — that is what
         # imprints the discrete FFT lines of Figure 4d.
@@ -96,7 +96,7 @@ class _SinusoidParams:
         self.phase = rng.uniform(0.0, 2.0 * np.pi)
 
     def value(self, sample_index: int) -> float:
-        return self.offset + self.amp * np.sin(
+        return self.offset_w + self.amp_w * np.sin(
             2.0 * np.pi * sample_index / self.period + self.phase
         )
 
@@ -118,12 +118,12 @@ class GaussianSinusoidMask(SegmentedMask):
     def _draw_parameters(self, rng: np.random.Generator) -> None:
         self._params = _SinusoidParams()
         self._params.draw(self, rng)
-        self._mu = rng.uniform(-0.05, 0.05) * self.span_w
-        self._sigma = rng.uniform(0.02, 0.10) * self.span_w
+        self._mu_w = rng.uniform(-0.05, 0.05) * self.span_w
+        self._sigma_w = rng.uniform(0.02, 0.10) * self.span_w
 
     def _evaluate(self, sample_index: int, rng: np.random.Generator) -> float:
-        noise = rng.normal(self._mu, self._sigma)
-        return float(self._params.value(sample_index) + noise)
+        noise_w = rng.normal(self._mu_w, self._sigma_w)
+        return float(self._params.value(sample_index) + noise_w)
 
 
 MASK_FAMILIES = {

@@ -1,0 +1,22 @@
+"""MAYA022 fixture: actuator commands computed from application activity.
+
+Both a direct flow (activity into ``quantize_normalized``) and a
+transitive one (activity passed to a helper that commits the command)
+must be reported.
+"""
+
+__all__ = ["command_direct", "command_transitive", "commit"]
+
+
+def command_direct(bank, activity):
+    # MAYA022: actuator command derived from the secret.
+    return bank.quantize_normalized(activity)
+
+
+def commit(bank, u_norm):
+    return bank.quantize_normalized(u_norm)
+
+
+def command_transitive(bank, activity):
+    # MAYA022 at this call: the secret reaches commit()'s actuator sink.
+    return commit(bank, 0.5 * activity)

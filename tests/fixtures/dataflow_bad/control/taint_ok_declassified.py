@@ -1,0 +1,19 @@
+"""Negative fixture: the sanctioned declassifier makes this flow legal.
+
+Identical shape to the bad fixtures, but the activity-dependent power
+trace passes through ``measure_window`` (the RAPL energy counter — the
+paper's sanctioned feedback path) before reaching the branch and the
+actuator command.  The taint analysis must certify this file clean.
+"""
+
+__all__ = ["feedback_step"]
+
+
+def feedback_step(sensor, bank, tick_powers, tick_s, target_w):
+    measured_w = sensor.measure_window(tick_powers, tick_s)
+    error_w = target_w - measured_w
+    if error_w > 0.0:  # legal: declassified measurement
+        u_norm = 1.0
+    else:
+        u_norm = 0.0
+    return bank.quantize_normalized(u_norm)  # legal: declassified command

@@ -1,0 +1,25 @@
+"""MAYA020/MAYA021 fixture: mask generation reacts to application activity.
+
+The mask must be drawn independently of the application (the paper's
+transparency claim); branching on activity leaks it into the schedule,
+and storing it into a mask parameter leaks it into the target sequence.
+"""
+
+__all__ = ["AdaptiveMask"]
+
+
+class AdaptiveMask:
+    def __init__(self, low_w, high_w):
+        self.low_w = low_w
+        self.high_w = high_w
+        self.level_w = low_w
+
+    def retarget(self, activity):
+        if activity > 0.5:  # MAYA020: secret-dependent branch
+            return self.high_w
+        return self.low_w
+
+    def imprint(self, activity):
+        # MAYA021: mask parameter becomes activity-dependent.
+        self.level_w = self.low_w + activity * (self.high_w - self.low_w)
+        return self.level_w

@@ -1,0 +1,14 @@
+"""MAYA010 fixture: mixed-dimension and mixed-scale arithmetic."""
+
+__all__ = ["added_watts_and_ghz", "added_ghz_and_mhz"]
+
+
+def added_watts_and_ghz(static_w, freq_ghz):
+    # Watts plus a frequency: dimensionally wrong.
+    return static_w + freq_ghz
+
+
+def added_ghz_and_mhz(freq_ghz, uncore_mhz):
+    # Same dimension (1/s) but a 1000x scale mismatch.
+    total = freq_ghz + uncore_mhz
+    return total

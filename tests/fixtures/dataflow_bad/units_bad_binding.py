@@ -1,0 +1,9 @@
+"""MAYA013 fixture: unit-suffixed name bound to a different unit."""
+
+__all__ = ["mislabel"]
+
+
+def mislabel(freq_ghz):
+    # A GHz value stored under an _mhz name.
+    freq_mhz = freq_ghz
+    return freq_mhz

@@ -1,0 +1,12 @@
+"""MAYA011 fixture: wrong-unit argument at a call site."""
+
+__all__ = ["set_uncore", "configure"]
+
+
+def set_uncore(uncore_mhz):
+    return uncore_mhz
+
+
+def configure(freq_ghz):
+    # Passing a GHz value into an _mhz parameter.
+    return set_uncore(freq_ghz)

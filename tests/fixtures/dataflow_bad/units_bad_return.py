@@ -1,0 +1,8 @@
+"""MAYA012 fixture: function name promises watts, body returns seconds."""
+
+__all__ = ["static_power"]
+
+
+def static_power(tdp_w, tick_s):
+    # The name says power; the returned value is a duration.
+    return 2.0 * tick_s

@@ -86,6 +86,38 @@ class TestSourceTreeGate:
         assert diags == [], "\n".join(d.format() for d in diags)
 
 
+class TestSuppressionExtent:
+    """A ``# maya: ignore`` on the *last* line of a multi-line statement
+    must cover the whole statement (regression: it used to apply only to
+    the physical line carrying the comment)."""
+
+    MULTILINE = (
+        "__all__ = ['f']\n"
+        "\n"
+        "\n"
+        "def f(a):\n"
+        "    flag = (\n"
+        "        a == 1.0\n"
+        "    ){comment}\n"
+        "    return flag\n"
+    )
+
+    def test_last_line_suppression_covers_statement(self):
+        src = self.MULTILINE.format(comment="  # maya: ignore[MAYA003]")
+        assert LintEngine().run_source(src, "probe.py").diagnostics == []
+
+    def test_unsuppressed_control_still_reports(self):
+        src = self.MULTILINE.format(comment="")
+        diags = LintEngine().run_source(src, "probe.py").diagnostics
+        assert [d.rule_id for d in diags] == ["MAYA003"]
+
+    def test_extent_does_not_leak_past_the_statement(self):
+        src = self.MULTILINE.format(comment="  # maya: ignore[MAYA003]")
+        src += "\n\ndef g(b):\n    return b == 2.0\n"
+        diags = LintEngine().run_source(src, "probe.py").diagnostics
+        assert [(d.rule_id, d.line) for d in diags] == [("MAYA003", 12)]
+
+
 class TestCli:
     def test_exit_zero_and_clean_message_on_src(self):
         proc = run_cli(str(PACKAGE_DIR))
@@ -135,3 +167,62 @@ class TestCli:
         assert payload["n_states"] == 11
         assert payload["integrator_poles"] == 1
         assert payload["storage_bytes"] < payload["storage_budget_bytes"]
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        proc = run_cli(str(bad))
+        assert proc.returncode == 2
+        assert "MAYA000" in proc.stdout
+
+    def test_list_rules_includes_dataflow_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("MAYA010", "MAYA013", "MAYA020", "MAYA022"):
+            assert rule_id in proc.stdout
+
+    def test_github_format_emits_workflow_commands(self):
+        proc = run_cli("--format", "github", str(FIXTURE_DIR / "bad_bare_except.py"))
+        assert proc.returncode == 1
+        lines = [ln for ln in proc.stdout.splitlines() if ln]
+        assert lines, proc.stdout
+        for line in lines:
+            assert line.startswith("::error file=")
+        assert any("title=MAYA006" in line for line in lines)
+        # Workflow commands use 1-based columns.
+        assert ",col=" in lines[0]
+
+    def test_json_format_embeds_leakage_certificate(self):
+        target = PACKAGE_DIR / "masks"
+        proc = run_cli("--format", "json", "--analyze", "taint", str(target))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        cert = payload["leakage_certificate"]
+        assert cert["schema"] == "maya.lint.leakage-certificate.v1"
+        assert cert["ok"] is True
+        assert {"policy", "functions_in_scope", "sinks_checked", "violations"} <= set(cert)
+
+    def test_baseline_round_trip_silences_known_findings(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write = run_cli("--write-baseline", str(baseline), str(FIXTURE_DIR))
+        assert write.returncode == 0, write.stdout + write.stderr
+        payload = json.loads(baseline.read_text())
+        assert payload["schema"] == "maya.lint.baseline.v1"
+        assert payload["entries"], "baseline should have recorded the fixtures"
+        rerun = run_cli("--baseline", str(baseline), str(FIXTURE_DIR))
+        assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+        assert "clean" in rerun.stdout
+
+    def test_baseline_does_not_silence_new_findings(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run_cli("--write-baseline", str(baseline), str(FIXTURE_DIR / "bad_random.py"))
+        proc = run_cli("--baseline", str(baseline), str(FIXTURE_DIR))
+        assert proc.returncode == 1
+        assert "MAYA006" in proc.stdout
+        assert "MAYA001" not in proc.stdout
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        proc = run_cli("--baseline", str(baseline), str(FIXTURE_DIR))
+        assert proc.returncode == 2
