@@ -22,10 +22,9 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..core.runtime import make_machine, run_session
 from ..defenses.designs import DefenseFactory
+from ..exec import SessionJob, run_sessions
 from ..machine import OutletMeter, PlatformSpec, RaplSensor, Trace, spawn
-from ..workloads import get_workload
 from .features import FeatureConfig, TraceFeaturizer, segment_trace
 from .metrics import ConfusionResult, confusion_matrix
 from .mlp import MLPClassifier, MLPConfig
@@ -111,27 +110,38 @@ class AttackOutcome:
 
 
 def simulate_runs(
-    scenario: AttackScenario, factory: DefenseFactory
+    scenario: AttackScenario,
+    factory: DefenseFactory,
+    workers: int | None = None,
+    cache: object = None,
 ) -> list[list[Trace]]:
-    """Record ``runs_per_class`` executions of every class under the defense."""
-    runs: list[list[Trace]] = []
-    for label, workload_name in enumerate(scenario.class_workloads):
-        class_runs = []
-        for run in range(scenario.runs_per_class):
-            run_id = (scenario.name, scenario.defense, workload_name, run)
-            machine = make_machine(
-                scenario.spec, get_workload(workload_name),
-                seed=scenario.seed, run_id=run_id,
-            )
-            defense = factory.create(scenario.defense)
-            trace = run_session(
-                machine, defense,
-                seed=scenario.seed, run_id=run_id,
-                duration_s=scenario.duration_s,
-            )
-            class_runs.append(trace)
-        runs.append(class_runs)
-    return runs
+    """Record ``runs_per_class`` executions of every class under the defense.
+
+    Every ``(class, run)`` session is an independent declarative job, so
+    the whole collection fans out through :func:`repro.exec.run_sessions`
+    (``workers`` processes, optional content-addressed trace cache) and is
+    reshaped back to the paper's ``classes x runs`` nesting — in the same
+    order, with bit-identical traces, as the serial loop this replaces.
+    """
+    jobs = [
+        SessionJob.for_factory(
+            factory,
+            spec=scenario.spec,
+            workload=workload_name,
+            defense=scenario.defense,
+            seed=scenario.seed,
+            run_id=(scenario.name, scenario.defense, workload_name, run),
+            duration_s=scenario.duration_s,
+        )
+        for workload_name in scenario.class_workloads
+        for run in range(scenario.runs_per_class)
+    ]
+    traces = run_sessions(jobs, workers=workers, cache=cache, factory=factory)
+    per_class = scenario.runs_per_class
+    return [
+        traces[label * per_class:(label + 1) * per_class]
+        for label in range(len(scenario.class_workloads))
+    ]
 
 
 def sample_runs(
@@ -223,8 +233,18 @@ def train_and_evaluate(
     )
 
 
-def run_attack(scenario: AttackScenario, factory: DefenseFactory) -> AttackOutcome:
-    """The full pipeline: simulate, sample, train, evaluate."""
-    runs = simulate_runs(scenario, factory)
+def run_attack(
+    scenario: AttackScenario,
+    factory: DefenseFactory,
+    workers: int | None = None,
+    cache: object = None,
+) -> AttackOutcome:
+    """The full pipeline: simulate, sample, train, evaluate.
+
+    ``workers`` and ``cache`` reach the trace-collection phase only; the
+    sensor sampling and training stages are deterministic functions of the
+    collected traces, so a cached re-run reproduces the identical outcome.
+    """
+    runs = simulate_runs(scenario, factory, workers=workers, cache=cache)
     sampled = sample_runs(scenario, runs)
     return train_and_evaluate(scenario, sampled)

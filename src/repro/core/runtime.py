@@ -72,21 +72,25 @@ def run_session(
     else:
         n_intervals = None
 
+    max_intervals = int(round(max_duration_s / interval_s))
+    interval_cap = max_intervals if n_intervals is None else min(n_intervals, max_intervals)
+
     power_chunks: list[np.ndarray] = []
     temp_chunks: list[np.ndarray] = []
-    measured: list[float] = []
-    targets: list[float] = []
-    settings_log: list[np.ndarray] = []
+    # Per-interval logs are fixed-width, so they live in preallocated
+    # (doubling) buffers instead of Python lists of per-interval arrays.
+    capacity = interval_cap if n_intervals is not None else min(interval_cap, 2048)
+    capacity = max(capacity, 1)
+    measured = np.empty(capacity, dtype=np.float64)
+    targets = np.empty(capacity, dtype=np.float64)
+    settings_log = np.empty((capacity, 3), dtype=np.float64)
 
     settings = defense.initial_settings()
     interval_index = 0
-    max_intervals = int(round(max_duration_s / interval_s))
     completion_deadline: int | None = None
 
     while True:
-        if n_intervals is not None and interval_index >= n_intervals:
-            break
-        if interval_index >= max_intervals:
+        if interval_index >= interval_cap:
             break
         if n_intervals is None:
             if machine.completed and completion_deadline is None:
@@ -94,15 +98,23 @@ def run_session(
             if completion_deadline is not None and interval_index >= completion_deadline:
                 break
 
+        if interval_index >= capacity:
+            capacity = min(capacity * 2, interval_cap)
+            measured = _grown(measured, capacity)
+            targets = _grown(targets, capacity)
+            settings_log = _grown(settings_log, capacity)
+
         power_w, temperature_c = machine.advance(interval_s, settings)
         measurement_w = sensor.measure_window(power_w, machine.tick_s)
 
         power_chunks.append(power_w)
         if temperature_c.size:
             temp_chunks.append(temperature_c)
-        measured.append(measurement_w)
-        targets.append(defense.current_target_w)
-        settings_log.append(settings.as_vector())
+        measured[interval_index] = measurement_w
+        targets[interval_index] = defense.current_target_w
+        settings_log[interval_index, 0] = settings.freq_ghz
+        settings_log[interval_index, 1] = settings.idle_frac
+        settings_log[interval_index, 2] = settings.balloon_level
 
         settings = defense.decide(measurement_w)
         interval_index += 1
@@ -114,9 +126,16 @@ def run_session(
         tick_s=machine.tick_s,
         interval_s=interval_s,
         power_w=np.concatenate(power_chunks),
-        measured_w=np.asarray(measured),
-        target_w=np.asarray(targets),
-        settings=np.asarray(settings_log),
+        measured_w=measured[:interval_index].copy(),
+        target_w=targets[:interval_index].copy(),
+        settings=settings_log[:interval_index].copy(),
         completed_at_s=machine.completed_at_s,
         temperature_c=(np.concatenate(temp_chunks) if temp_chunks else np.empty(0)),
     )
+
+
+def _grown(buffer: np.ndarray, capacity: int) -> np.ndarray:
+    """The buffer copied into a fresh array of ``capacity`` rows."""
+    grown = np.empty((capacity,) + buffer.shape[1:], dtype=buffer.dtype)
+    grown[: buffer.shape[0]] = buffer
+    return grown

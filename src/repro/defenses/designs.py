@@ -135,17 +135,33 @@ class DefenseFactory:
     builds them once per platform and reuses them across runs — exactly the
     deployment model of the paper, where the controller matrices are fixed
     at design time and only the runtime state and mask stream are new.
+
+    A factory is fully described by ``(spec, seed, design_overrides)``:
+    ``design_overrides`` are factory-level :class:`MayaConfig` defaults
+    (e.g. an :class:`ExperimentScale`'s ``sysid_intervals`` budget) merged
+    under any per-call overrides.  The parallel execution layer
+    (:mod:`repro.exec`) relies on this declarative description to rebuild
+    an equivalent factory inside worker processes.
     """
 
-    def __init__(self, spec: PlatformSpec, seed: int = 0) -> None:
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        seed: int = 0,
+        design_overrides: dict | None = None,
+    ) -> None:
         self.spec = spec
         self.seed = seed
+        self.design_overrides: dict = dict(design_overrides or {})
         self._designs: dict[str, MayaDesign] = {}
 
     def maya_design(self, mask_family: str, **config_overrides: object) -> MayaDesign:
+        # Keyed by the *call-level* overrides only: factory-level defaults
+        # are constant per instance, so they never disambiguate entries.
         key = mask_family + repr(sorted(config_overrides.items()))
         if key not in self._designs:
-            config = MayaConfig(mask_family=mask_family, **config_overrides)
+            merged = {**self.design_overrides, **config_overrides}
+            config = MayaConfig(mask_family=mask_family, **merged)
             self._designs[key] = build_maya_design(self.spec, config, seed=self.seed)
         return self._designs[key]
 

@@ -1,0 +1,27 @@
+"""Parallel execution engine + content-addressed trace cache.
+
+Every simulation batch in the reproduction — the per-figure experiments
+and the attack pipeline's trace collection — routes through
+:func:`run_sessions`, which fans declarative :class:`SessionJob` specs
+out over worker processes and collates the traces in job order, with
+results guaranteed bit-identical to the serial path.  See
+:mod:`repro.exec.engine` for the determinism contract and
+:mod:`repro.exec.cache` for the cache layout and environment knobs.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, TraceCache, default_cache
+from .engine import resolve_workers, run_sessions
+from .jobs import CACHE_EPOCH, SessionJob, code_salt, execute_job, register_factory
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "TraceCache",
+    "default_cache",
+    "resolve_workers",
+    "run_sessions",
+    "CACHE_EPOCH",
+    "SessionJob",
+    "code_salt",
+    "execute_job",
+    "register_factory",
+]

@@ -1,0 +1,49 @@
+"""CLI: ``python -m repro.exec --cache {stats,clear} [--dir DIR]``.
+
+``stats`` prints a JSON summary of the trace cache directory; ``clear``
+removes every entry.  The directory defaults to ``REPRO_CACHE_DIR`` or
+``.maya-cache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .cache import TraceCache
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.exec",
+        description="Parallel execution engine: trace-cache maintenance",
+    )
+    parser.add_argument(
+        "--cache",
+        choices=("stats", "clear"),
+        required=True,
+        help="print cache statistics, or remove every cached trace",
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .maya-cache)",
+    )
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    cache = TraceCache(args.dir)
+    if args.cache == "stats":
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+    else:
+        removed = cache.clear()
+        print(json.dumps({"dir": str(cache.root), "removed": removed}, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

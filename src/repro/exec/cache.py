@@ -1,0 +1,148 @@
+"""Content-addressed trace cache.
+
+Traces are stored as compressed ``.npz`` files named by the job's content
+address (:meth:`SessionJob.key` — a hash of the full declarative job spec
+plus a digest of the simulation sources).  Re-running a benchmark or
+iterating on the attacker therefore never re-simulates an unchanged
+session, while *any* edit to the simulation code changes the salt and
+transparently invalidates every stale entry.
+
+Properties:
+
+* **atomic writes** — entries are written to a temp file and
+  ``os.replace``d into place, so readers never observe a torn file and
+  concurrent writers of the same key are last-writer-wins with identical
+  content;
+* **LRU size bounding** — after each write the directory is trimmed to
+  ``max_bytes`` (``REPRO_CACHE_MAX_MB``, default 512 MB), evicting the
+  least-recently-used entries (hits refresh an entry's mtime);
+* **corruption tolerance** — an unreadable entry is treated as a miss and
+  overwritten by the fresh simulation.
+
+Environment:
+
+* ``REPRO_CACHE=1`` — enable the default cache for every
+  :func:`~repro.exec.engine.run_sessions` call;
+* ``REPRO_CACHE_DIR`` — cache directory (default ``.maya-cache/``);
+* ``REPRO_CACHE_MAX_MB`` — size bound in megabytes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..machine import Trace
+
+__all__ = ["TraceCache", "default_cache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".maya-cache"
+_DEFAULT_MAX_MB = 512.0
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class TraceCache:
+    """Directory of content-addressed, LRU-bounded trace files."""
+
+    def __init__(self, root: object = None, max_bytes: object = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", "").strip() or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        if max_bytes is None:
+            env = os.environ.get("REPRO_CACHE_MAX_MB", "").strip()
+            max_bytes = float(env) * 1e6 if env else _DEFAULT_MAX_MB * 1e6
+        self.max_bytes = int(max_bytes)
+        #: Runtime counters for this cache handle (not persisted).
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup --------------------------------------------------------
+
+    def _path(self, job) -> Path:
+        return self.root / f"{job.key()}.npz"
+
+    def get(self, job) -> Trace | None:
+        """The cached trace for ``job``, or None (counted as a miss)."""
+        path = self._path(job)
+        try:
+            trace = Trace.load_npz(path)
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU refresh
+        except OSError:
+            pass
+        self.hits += 1
+        return trace
+
+    def put(self, job, trace: Trace) -> None:
+        """Store ``trace`` under the job's content address (atomically)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(job)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            trace.save_npz(tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._evict()
+
+    # -- maintenance ---------------------------------------------------
+
+    def entries(self) -> list:
+        """Cache files, sorted least-recently-used first."""
+        if not self.root.is_dir():
+            return []
+        stamped = []
+        for path in self.root.glob("*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, str(path), stat.st_size, path))
+        return [(path, size) for _, _, size, path in sorted(stamped)]
+
+    def _evict(self) -> None:
+        entries = self.entries()
+        total = sum(size for _, size in entries)
+        # Oldest first; the most recent entry is always kept so a single
+        # oversized trace cannot wipe the cache it just entered.
+        for path, size in entries[:-1]:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+
+    def stats(self) -> dict:
+        entries = self.entries()
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "total_bytes": int(sum(size for _, size in entries)),
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Remove every entry (and stale temp file); returns the count."""
+        removed = 0
+        if self.root.is_dir():
+            for path in list(self.root.glob("*.npz")) + list(self.root.glob(".*.tmp")):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+        return removed
+
+
+def default_cache() -> TraceCache | None:
+    """The env-gated default cache: enabled only when ``REPRO_CACHE`` is set."""
+    if os.environ.get("REPRO_CACHE", "").strip().lower() in _TRUTHY:
+        return TraceCache()
+    return None

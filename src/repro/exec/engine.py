@@ -1,0 +1,164 @@
+"""Deterministic parallel fan-out over :class:`SessionJob` specs.
+
+:func:`run_sessions` is the one choke point every experiment and the
+attack pipeline route their simulation batches through.  It
+
+* resolves the worker count (explicit argument > ``REPRO_WORKERS`` env >
+  serial), falling back to a plain in-process loop at ``workers=1``;
+* consults the content-addressed trace cache before simulating anything;
+* fans cache misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  and collates results **strictly in job order** — never in completion
+  order — so the output is independent of worker scheduling;
+* applies a per-job timeout and retries a crashed or wedged worker's job
+  exactly once, in-process (the spawn-keyed RNG makes the redo
+  bit-identical).
+
+Determinism guarantee (tested): ``run_sessions(jobs, workers=n)`` returns
+traces array-equal to the serial path for every ``n``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from ..defenses.designs import DefenseFactory
+from ..machine import Trace
+from .cache import TraceCache, default_cache
+from .jobs import SessionJob, execute_job, register_factory
+
+__all__ = ["resolve_workers", "run_sessions"]
+
+#: Default per-job timeout (overridable via ``REPRO_JOB_TIMEOUT_S``).
+DEFAULT_JOB_TIMEOUT_S = 600.0
+
+
+def resolve_workers(workers: object = None) -> int:
+    """Worker count: explicit argument > ``REPRO_WORKERS`` env > 1 (serial).
+
+    An explicit ``workers`` of ``None`` or ``0`` means "unset" (an
+    :class:`ExperimentScale` leaves it 0 by default) and defers to the
+    environment.
+    """
+    if workers is not None and int(workers) > 0:
+        return int(workers)
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}") from None
+        if value > 0:
+            return value
+    return 1
+
+
+def _mp_context():
+    """Start-method context: ``REPRO_MP_CONTEXT`` env, else fork when available.
+
+    Fork is preferred because workers inherit the parent's already-built
+    Maya designs (see :func:`repro.exec.jobs.register_factory`) instead of
+    re-running system identification per pool.
+    """
+    name = os.environ.get("REPRO_MP_CONTEXT", "").strip()
+    if not name:
+        name = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    return multiprocessing.get_context(name)
+
+
+def _job_timeout_s(timeout_s: object) -> float:
+    if timeout_s is not None:
+        return float(timeout_s)
+    env = os.environ.get("REPRO_JOB_TIMEOUT_S", "").strip()
+    return float(env) if env else DEFAULT_JOB_TIMEOUT_S
+
+
+def run_sessions(
+    jobs,
+    workers: object = None,
+    cache: object = None,
+    factory: DefenseFactory | None = None,
+    timeout_s: object = None,
+) -> list:
+    """Execute ``jobs`` and return their traces **in job order**.
+
+    * ``workers`` — see :func:`resolve_workers`.
+    * ``cache`` — a :class:`TraceCache`, ``None`` (use the env-gated
+      default: ``REPRO_CACHE=1`` enables it), or ``False`` to disable
+      caching regardless of the environment.
+    * ``factory`` — optional in-process :class:`DefenseFactory` matching
+      the jobs' declarative description; purely an optimization (avoids
+      rebuilding Maya designs in this process and, under fork, in the
+      workers).
+    * ``timeout_s`` — per-job timeout (default ``REPRO_JOB_TIMEOUT_S`` or
+      600 s); a timed-out or crashed job is retried once in-process.
+    """
+    jobs = list(jobs)
+    workers = resolve_workers(workers)
+    if cache is None:
+        cache = default_cache()
+    elif cache is False:
+        cache = None
+
+    results: list = [None] * len(jobs)
+    pending: list = []
+    for index, job in enumerate(jobs):
+        trace = cache.get(job) if cache is not None else None
+        if trace is None:
+            pending.append(index)
+        else:
+            results[index] = trace
+
+    if not pending:
+        return results
+    if workers <= 1 or len(pending) == 1:
+        for index in pending:
+            results[index] = jobs[index].execute(factory=factory)
+            if cache is not None:
+                cache.put(jobs[index], results[index])
+        return results
+
+    _execute_parallel(
+        jobs, pending, results, workers, factory, cache, _job_timeout_s(timeout_s)
+    )
+    return results
+
+
+def _execute_parallel(jobs, pending, results, workers, factory, cache, timeout_s):
+    if factory is not None:
+        # Pre-fork memoization: under the fork start method the workers
+        # inherit the parent's built designs instead of re-running sysid.
+        register_factory(factory)
+    executor = ProcessPoolExecutor(
+        max_workers=min(workers, len(pending)), mp_context=_mp_context()
+    )
+    try:
+        futures = [(index, executor.submit(execute_job, jobs[index])) for index in pending]
+        # Collate strictly in submission (= job) order, never in completion
+        # order: the output must not depend on worker scheduling (MAYA030).
+        for index, future in futures:
+            results[index] = _result_or_retry(future, jobs[index], factory, timeout_s)
+            if cache is not None:
+                cache.put(jobs[index], results[index])
+    finally:
+        # Wait for worker teardown: on the happy path every future is done
+        # and the join is instant; on an error path cancel_futures stops
+        # queued jobs and the join prevents orphaned children racing
+        # interpreter shutdown.
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _result_or_retry(future, job: SessionJob, factory, timeout_s: float) -> Trace:
+    """Await one worker result; on crash or timeout, redo the job in-process.
+
+    Only infrastructure failures are retried — a deterministic exception
+    raised by the job itself (bad workload name, invalid config) would
+    fail identically on retry and propagates immediately.
+    """
+    try:
+        return future.result(timeout=timeout_s)
+    except (BrokenExecutor, FutureTimeoutError, OSError):
+        future.cancel()
+        return job.execute(factory=factory)

@@ -2,16 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 
 from ..attacks.mlp import MLPConfig
 from ..attacks.pipeline import AttackScenario
-from ..core.runtime import make_machine, run_session
 from ..defenses.designs import DefenseFactory
+from ..exec import SessionJob, run_sessions
 from ..machine import PlatformSpec, RaplSensor, Trace, spawn
-from ..workloads import PARSEC_APPS, get_workload
+from ..workloads import PARSEC_APPS
 from .config import ExperimentScale
 
 __all__ = [
@@ -43,17 +41,16 @@ def experiment_apps(scale: ExperimentScale) -> tuple[str, ...]:
 
 
 def make_factory(spec: PlatformSpec, scale: ExperimentScale, seed: int = 0) -> DefenseFactory:
-    """A defense factory whose Maya designs use the scale's sysid budget."""
-    factory = DefenseFactory(spec, seed=seed)
+    """A defense factory whose Maya designs use the scale's sysid budget.
 
-    original = factory.maya_design
-
-    def maya_design(mask_family: str, **overrides: object):
-        overrides.setdefault("sysid_intervals", scale.sysid_intervals)
-        return original(mask_family, **overrides)
-
-    factory.maya_design = maya_design  # type: ignore[method-assign]
-    return factory
+    The budget rides in ``design_overrides`` (not a monkeypatched method)
+    so the factory stays declaratively describable — worker processes in
+    :mod:`repro.exec` rebuild an equivalent factory from
+    ``(spec, seed, design_overrides)`` alone.
+    """
+    return DefenseFactory(
+        spec, seed=seed, design_overrides={"sysid_intervals": scale.sysid_intervals}
+    )
 
 
 def attack_scenario(
@@ -91,21 +88,30 @@ def record_traces(
     duration_s: float | None,
     seed: int = 0,
     tag: str = "traces",
+    workers: int | None = None,
+    cache: object = None,
 ) -> list[Trace]:
-    """Record ``n_runs`` executions of one workload under one defense."""
-    traces = []
-    for run in range(n_runs):
-        run_id = (tag, defense, workload_name, run)
-        machine = make_machine(spec, get_workload(workload_name), seed=seed, run_id=run_id)
-        trace = run_session(
-            machine,
-            factory.create(defense),
+    """Record ``n_runs`` executions of one workload under one defense.
+
+    The runs are independent sessions, so they are submitted as declarative
+    jobs to :func:`repro.exec.run_sessions` — parallel across
+    ``workers`` processes (``REPRO_WORKERS`` by default) and served from
+    the content-addressed trace cache when one is enabled, with results
+    bit-identical to the serial loop this replaces.
+    """
+    jobs = [
+        SessionJob.for_factory(
+            factory,
+            spec=spec,
+            workload=workload_name,
+            defense=defense,
             seed=seed,
-            run_id=run_id,
+            run_id=(tag, defense, workload_name, run),
             duration_s=duration_s,
         )
-        traces.append(trace)
-    return traces
+        for run in range(n_runs)
+    ]
+    return run_sessions(jobs, workers=workers, cache=cache, factory=factory)
 
 
 def sample_rapl(

@@ -15,9 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.runtime import make_machine, run_session
 from ..defenses.designs import DefenseFactory
-from ..machine import SYS1, PlatformSpec
+from ..exec import SessionJob, run_sessions
+from ..machine import SYS1, PlatformSpec, Trace
 from ..workloads import parsec_program
 from .common import experiment_apps, make_factory
 from .config import ExperimentScale, get_scale
@@ -74,14 +74,21 @@ class Fig14Result:
         return "\n".join(lines)
 
 
-def _run_to_completion(spec, app, factory, defense, seed, max_duration_s):
-    run_id = ("fig14", defense, app)
-    machine = make_machine(spec, parsec_program(app), seed=seed, run_id=run_id)
-    trace = run_session(
-        machine, factory.create(defense),
-        seed=seed, run_id=run_id,
-        duration_s=None, max_duration_s=max_duration_s, tail_s=0.2,
+def _completion_job(spec, app, factory, defense, seed, max_duration_s) -> SessionJob:
+    return SessionJob.for_factory(
+        factory,
+        spec=spec,
+        workload=app,
+        defense=defense,
+        seed=seed,
+        run_id=("fig14", defense, app),
+        duration_s=None,
+        max_duration_s=max_duration_s,
+        tail_s=0.2,
     )
+
+
+def _power_and_completion(trace: Trace) -> tuple[float, float]:
     if not trace.completed:
         # Capped: report the cap (a conservative under-estimate of the
         # slowdown) rather than dropping the point.
@@ -111,14 +118,27 @@ def run(
     power_ratio: dict[str, dict[str, float]] = {d: {} for d in defenses}
     time_ratio: dict[str, dict[str, float]] = {d: {} for d in defenses}
 
+    # Every (app, design) run-to-completion session is independent, so the
+    # whole grid is submitted as one batch and normalized afterwards.
+    jobs: list[SessionJob] = []
+    labels: list[tuple[str, str]] = []
     for app in apps:
-        nominal = parsec_program(app).nominal_duration_s()
-        cap = max_slowdown * nominal
-        base_p, base_t = _run_to_completion(spec, app, factory, "baseline", seed, cap)
+        cap = max_slowdown * parsec_program(app).nominal_duration_s()
+        for defense in ("baseline",) + tuple(defenses):
+            jobs.append(_completion_job(spec, app, factory, defense, seed, cap))
+            labels.append((app, defense))
+    traces = run_sessions(jobs, workers=scale.workers, factory=factory)
+
+    measured = {
+        label: _power_and_completion(trace)
+        for label, trace in zip(labels, traces)
+    }
+    for app in apps:
+        base_p, base_t = measured[(app, "baseline")]
         baseline_power[app] = base_p
         baseline_time[app] = base_t
         for defense in defenses:
-            power, duration = _run_to_completion(spec, app, factory, defense, seed, cap)
+            power, duration = measured[(app, defense)]
             power_ratio[defense][app] = power / base_p
             time_ratio[defense][app] = duration / base_t
 

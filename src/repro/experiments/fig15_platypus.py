@@ -19,9 +19,9 @@ import numpy as np
 
 from ..analysis import average_traces
 from ..defenses.designs import DefenseFactory
+from ..exec import SessionJob, run_sessions
 from ..machine import SYS1, PlatformSpec
-from ..workloads import INSTRUCTION_LOOPS, instruction_loop
-from ..core.runtime import make_machine, run_session
+from ..workloads import INSTRUCTION_LOOPS
 from .common import make_factory, sample_rapl
 from .config import ExperimentScale, get_scale
 
@@ -59,6 +59,25 @@ def run(
         factory = make_factory(spec, scale, seed=seed)
     n_runs = max(scale.average_runs // 2, 8)
 
+    # One declarative job per (design, instruction, run): the whole grid
+    # fans out through the execution layer in a single batch.
+    jobs = [
+        SessionJob.for_factory(
+            factory,
+            spec=spec,
+            workload=f"loop_{instruction}",
+            workload_kwargs={"duration_s": duration_s * 2},
+            defense=defense,
+            seed=seed,
+            run_id=("fig15", defense, instruction, run_index),
+            duration_s=duration_s,
+        )
+        for defense in ("baseline", "maya_gs")
+        for instruction in INSTRUCTION_LOOPS
+        for run_index in range(n_runs)
+    ]
+    traces = iter(run_sessions(jobs, workers=scale.workers, factory=factory))
+
     averages: dict[str, dict[str, np.ndarray]] = {}
     separation: dict[str, float] = {}
     accuracy: dict[str, float] = {}
@@ -69,15 +88,7 @@ def run(
             sampled = []
             for run_index in range(n_runs):
                 run_id = ("fig15", defense, instruction, run_index)
-                machine = make_machine(
-                    spec, instruction_loop(instruction, duration_s=duration_s * 2),
-                    seed=seed, run_id=run_id,
-                )
-                trace = run_session(
-                    machine, factory.create(defense),
-                    seed=seed, run_id=run_id, duration_s=duration_s,
-                )
-                sampled.append(sample_rapl(trace, seed, run_id))
+                sampled.append(sample_rapl(next(traces), seed, run_id))
             averages[defense][instruction] = average_traces(sampled)
             run_means[instruction] = np.asarray([s.mean() for s in sampled])
 

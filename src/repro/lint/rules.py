@@ -234,6 +234,8 @@ class WallClockRule(Rule):
     sanctioned_path_suffixes = (
         "repro/__main__.py",
         "repro/experiments/sec7e_controller_cost.py",
+        "repro/bench/__init__.py",
+        "repro/bench/__main__.py",
     )
 
     banned_calls = frozenset(
@@ -409,4 +411,70 @@ class BareExceptRule(Rule):
                     node.lineno,
                     node.col_offset,
                     "bare 'except:'; catch a specific exception type",
+                )
+
+
+# --------------------------------------------------------------------------
+# MAYA030 — execution-layer results must be collated in job order
+# --------------------------------------------------------------------------
+
+
+@register
+class NondeterministicCollationRule(Rule):
+    """The execution layer must collate results in submission order.
+
+    ``repro.exec`` guarantees that ``run_sessions`` returns traces in job
+    order, bit-identical whether jobs ran serially, in a pool, or from the
+    cache.  Two idioms silently break that guarantee: iterating futures in
+    *completion* order (``concurrent.futures.as_completed``) and iterating
+    an unordered container (a ``set``/``frozenset`` of futures or jobs).
+    Both reorder results by scheduling accidents, so the rule bans them
+    inside ``src/repro/exec/``.  If completion-order draining is ever
+    genuinely needed, pair it with an explicit reorder-by-index step and
+    suppress with ``# maya: ignore[MAYA030]`` on that line.
+    """
+
+    rule_id = "MAYA030"
+    severity = "error"
+    summary = "nondeterministic result collation in the execution layer"
+
+    scoped_path_fragment = "repro/exec/"
+
+    _unordered_builtins = frozenset({"set", "frozenset"})
+
+    def _is_unordered(self, node: ast.AST, aliases: Dict[str, str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            resolved = _resolve(_dotted_name(node.func), aliases)
+            return resolved in self._unordered_builtins
+        return False
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[RawFinding]:
+        if self.scoped_path_fragment not in ctx.path:
+            return
+        aliases = _import_aliases(tree)
+        for call, resolved in _resolved_calls(tree):
+            if resolved == "concurrent.futures.as_completed" or resolved.endswith(
+                ".as_completed"
+            ):
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    f"{resolved}() yields results in completion order; "
+                    "collate futures by job index instead",
+                )
+        iterables: list = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+        for iterable in iterables:
+            if self._is_unordered(iterable, aliases):
+                yield (
+                    iterable.lineno,
+                    iterable.col_offset,
+                    "iteration over an unordered set in the execution "
+                    "layer; results must be collated in job order",
                 )

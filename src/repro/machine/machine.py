@@ -115,6 +115,12 @@ class SimulatedMachine:
             rate = phase.progress_rate(
                 freq_fraction, settings.idle_frac, settings.balloon_level
             )
+            # Defensive clamp: a custom Phase whose progress_rate returns a
+            # zero, negative, or non-finite rate (e.g. idle_frac at its
+            # ceiling without the base class's own floor) would otherwise
+            # divide work_remaining by zero below.
+            if not (rate > 0.0) or not np.isfinite(rate):
+                rate = 1e-6
             work_per_tick = rate * self.tick_s
             work_remaining = phase.work_units - self._work_into_phase
             ticks_in_phase = int(np.ceil(work_remaining / work_per_tick - 1e-12))

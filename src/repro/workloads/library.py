@@ -25,14 +25,20 @@ def all_workload_names() -> tuple[str, ...]:
     return tuple(names)
 
 
-def get_workload(name: str) -> PhaseProgram:
-    """Look up any workload by its registry name."""
+def get_workload(name: str, **kwargs: object) -> PhaseProgram:
+    """Look up any workload by its registry name.
+
+    Extra keyword arguments are forwarded to the family constructor (e.g.
+    ``get_workload("loop_imul", duration_s=16.0)``), which lets callers —
+    notably declarative :class:`~repro.exec.jobs.SessionJob` specs — name
+    parameterized workloads without holding the built program.
+    """
     if name in PARSEC_APPS:
-        return parsec_program(name)
+        return parsec_program(name, **kwargs)
     if name.startswith("video_"):
-        return video_program(name[len("video_"):])
+        return video_program(name[len("video_"):], **kwargs)
     if name.startswith("page_"):
-        return browser_program(name[len("page_"):])
+        return browser_program(name[len("page_"):], **kwargs)
     if name.startswith("loop_"):
-        return instruction_loop(name[len("loop_"):])
+        return instruction_loop(name[len("loop_"):], **kwargs)
     raise KeyError(f"unknown workload {name!r}; known: {all_workload_names()}")

@@ -36,7 +36,9 @@ def sys1_constant_design() -> MayaDesign:
 @pytest.fixture(scope="session")
 def sys1_factory(sys1_design, sys1_constant_design) -> DefenseFactory:
     """A defense factory pre-seeded with the shared designs."""
-    factory = DefenseFactory(SYS1, seed=TEST_SEED)
+    factory = DefenseFactory(
+        SYS1, seed=TEST_SEED, design_overrides={"sysid_intervals": 400}
+    )
     factory._designs["gaussian_sinusoid[]"] = sys1_design
     factory._designs["constant[]"] = sys1_constant_design
     return factory

@@ -114,3 +114,34 @@ class TestPipeline:
     def test_run_attack_end_to_end(self, sys1_factory):
         outcome = run_attack(tiny_scenario(), sys1_factory)
         assert outcome.average_accuracy > 0.9
+
+
+class TestExecutionLayer:
+    def test_parallel_simulate_runs_bit_identical(self, sys1_factory):
+        """Acceptance: fan-out must not change a single bit of any trace."""
+        scenario = tiny_scenario(runs_per_class=2, duration_s=2.0)
+        serial = simulate_runs(scenario, sys1_factory, workers=1, cache=False)
+        parallel = simulate_runs(scenario, sys1_factory, workers=4, cache=False)
+        for class_serial, class_parallel in zip(serial, parallel):
+            for a, b in zip(class_serial, class_parallel):
+                assert a.equals(b)
+
+    def test_cached_rerun_reproduces_attack_outcome(self, sys1_factory, tmp_path):
+        """Acceptance: a cached re-run yields the identical AttackOutcome."""
+        from repro.exec import TraceCache
+
+        scenario = tiny_scenario(
+            runs_per_class=4, duration_s=4.0,
+            segment_duration_s=2.0, segment_stride_s=1.0,
+        )
+        cache = TraceCache(root=tmp_path)
+        first = run_attack(scenario, sys1_factory, cache=cache)
+        assert cache.hits == 0
+        second = run_attack(scenario, sys1_factory, cache=cache)
+        assert cache.hits >= 1
+        assert cache.hits == 2 * scenario.runs_per_class  # every session replayed
+        assert np.array_equal(first.result.matrix, second.result.matrix)
+        assert first.average_accuracy == second.average_accuracy
+        assert (first.n_train, first.n_val, first.n_test) == (
+            second.n_train, second.n_val, second.n_test
+        )

@@ -1,0 +1,110 @@
+"""Tests for repro.exec.cache (content-addressed trace store) and its CLI."""
+
+import json
+
+from repro.exec import SessionJob, TraceCache, default_cache
+from repro.exec.__main__ import main as cache_cli
+from repro.machine import SYS1
+
+
+def tiny_job(run=0, duration_s=0.5):
+    return SessionJob(
+        spec=SYS1,
+        workload="volrend",
+        defense="baseline",
+        seed=11,
+        run_id=("cache-test", run),
+        duration_s=duration_s,
+    )
+
+
+class TestRoundTrip:
+    def test_put_get_is_bit_identical(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        trace = job.execute()
+        cache.put(job, trace)
+        loaded = cache.get(job)
+        assert loaded is not None and loaded.equals(trace)
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_unknown_job_is_a_miss(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        assert cache.get(tiny_job()) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        cache.put(job, job.execute())
+        cache._path(job).write_bytes(b"not an npz file")
+        assert cache.get(job) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        cache.put(job, job.execute())
+        assert not list(tmp_path.glob(".*.tmp"))
+
+
+class TestEviction:
+    def test_lru_trims_oldest_first(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(3)]
+        traces = [job.execute() for job in jobs]
+        for job, trace in zip(jobs, traces):
+            cache.put(job, trace)
+        entry_size = cache._path(jobs[0]).stat().st_size
+        # Room for roughly two entries: the oldest must go.
+        cache.max_bytes = int(entry_size * 2.5)
+        cache.put(jobs[0], traces[0])  # refresh 0, trigger eviction
+        surviving = {path.name for path, _ in cache.entries()}
+        assert f"{jobs[0].key()}.npz" in surviving
+        assert len(surviving) <= 2
+
+    def test_newest_entry_is_never_evicted(self, tmp_path):
+        cache = TraceCache(root=tmp_path, max_bytes=1)  # absurdly small
+        job = tiny_job()
+        cache.put(job, job.execute())
+        assert cache.get(job) is not None
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        cache.put(job, job.execute())
+        cache.get(job)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["hits"] == 1
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_default_cache_is_env_gated(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert default_cache() is None
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = default_cache()
+        assert cache is not None and cache.root == tmp_path
+
+
+class TestCli:
+    def test_stats_command(self, tmp_path, capsys):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        cache.put(job, job.execute())
+        assert cache_cli(["--cache", "stats", "--dir", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["entries"] == 1
+
+    def test_clear_command(self, tmp_path, capsys):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        cache.put(job, job.execute())
+        assert cache_cli(["--cache", "clear", "--dir", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed"] == 1
+        assert not list(tmp_path.glob("*.npz"))

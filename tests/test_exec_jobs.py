@@ -1,0 +1,120 @@
+"""Tests for repro.exec.jobs (declarative specs + content addressing)."""
+
+import json
+
+import pytest
+
+from repro.defenses.designs import DefenseFactory
+from repro.exec import SessionJob, code_salt, execute_job
+from repro.machine import SYS1, SYS2
+
+
+def tiny_job(**overrides):
+    params = dict(
+        spec=SYS1,
+        workload="volrend",
+        defense="baseline",
+        seed=11,
+        run_id=("test", "baseline", "volrend", 0),
+        duration_s=0.5,
+    )
+    params.update(overrides)
+    return SessionJob(**params)
+
+
+class TestNormalization:
+    def test_kwargs_dict_becomes_sorted_pairs(self):
+        job = tiny_job(workload_kwargs={"b": 2, "a": 1})
+        assert job.workload_kwargs == (("a", 1), ("b", 2))
+
+    def test_pairs_are_sorted_regardless_of_input_order(self):
+        a = tiny_job(workload_kwargs=(("b", 2), ("a", 1)))
+        b = tiny_job(workload_kwargs=(("a", 1), ("b", 2)))
+        assert a == b
+
+    def test_job_is_hashable(self):
+        assert len({tiny_job(), tiny_job()}) == 1
+
+
+class TestContentAddress:
+    def test_key_is_stable(self):
+        assert tiny_job().key() == tiny_job().key()
+
+    def test_key_changes_with_any_field(self):
+        base = tiny_job()
+        variants = [
+            tiny_job(seed=12),
+            tiny_job(run_id=("test", "baseline", "volrend", 1)),
+            tiny_job(workload="water_nsquared"),
+            tiny_job(defense="noisy_baseline"),
+            tiny_job(duration_s=1.0),
+            tiny_job(spec=SYS2),
+            tiny_job(workload_kwargs={"duration_s": 2.0}),
+            tiny_job(design_overrides={"sysid_intervals": 400}),
+        ]
+        keys = {job.key() for job in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_code_salt_is_a_stable_digest(self):
+        assert len(code_salt()) == 64
+        assert code_salt() == code_salt.__wrapped__()  # cached == recomputed
+
+    def test_describe_is_json_serializable(self):
+        payload = json.dumps(tiny_job().describe(), sort_keys=True)
+        assert "volrend" in payload
+
+
+class TestFactorySnapshot:
+    def test_for_factory_snapshots_declarative_fields(self):
+        factory = DefenseFactory(
+            SYS1, seed=7, design_overrides={"sysid_intervals": 400}
+        )
+        job = SessionJob.for_factory(
+            factory, workload="volrend", defense="baseline", duration_s=0.5
+        )
+        assert job.spec == SYS1
+        assert job.factory_seed == 7
+        assert job.design_overrides == (("sysid_intervals", 400),)
+        assert job.matches_factory(factory)
+
+    def test_matches_factory_rejects_mismatches(self):
+        factory = DefenseFactory(SYS1, seed=7)
+        job = SessionJob.for_factory(
+            factory, workload="volrend", defense="baseline"
+        )
+        assert not job.matches_factory(DefenseFactory(SYS1, seed=8))
+        assert not job.matches_factory(DefenseFactory(SYS2, seed=7))
+        assert not job.matches_factory(
+            DefenseFactory(SYS1, seed=7, design_overrides={"sysid_intervals": 1})
+        )
+
+
+class TestExecution:
+    def test_execute_matches_with_and_without_factory(self, sys1_factory):
+        job = SessionJob.for_factory(
+            sys1_factory,
+            workload="volrend",
+            defense="baseline",
+            seed=11,
+            run_id=("exec-test", 0),
+            duration_s=0.5,
+        )
+        with_factory = job.execute(factory=sys1_factory)
+        rebuilt = execute_job(job)  # worker path: factory from job fields
+        assert with_factory.equals(rebuilt)
+        assert with_factory.workload == "volrend"
+        assert with_factory.duration_s == pytest.approx(0.5)
+
+    def test_workload_kwargs_reach_the_program(self, sys1_factory):
+        job = SessionJob.for_factory(
+            sys1_factory,
+            workload="loop_imul",
+            workload_kwargs={"duration_s": 1.0},
+            defense="baseline",
+            seed=11,
+            run_id=("exec-test", 1),
+            duration_s=0.5,
+        )
+        trace = job.execute(factory=sys1_factory)
+        assert trace.workload == "loop_imul"

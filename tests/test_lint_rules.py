@@ -15,7 +15,7 @@ def rule_ids(source, path="src/repro/example.py"):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert all_rule_ids() == (
             "MAYA001",
             "MAYA002",
@@ -23,6 +23,7 @@ class TestRegistry:
             "MAYA004",
             "MAYA005",
             "MAYA006",
+            "MAYA030",
         )
 
 
@@ -232,6 +233,72 @@ class TestBareExcept:
             pass
         """
         assert rule_ids(src) == []
+
+
+class TestNondeterministicCollation:
+    EXEC_PATH = "src/repro/exec/engine.py"
+
+    def test_flags_as_completed(self):
+        src = """\
+        from concurrent.futures import as_completed
+        __all__ = []
+        def drain(futures):
+            return [f.result() for f in as_completed(futures)]
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == ["MAYA030"]
+
+    def test_flags_module_qualified_as_completed(self):
+        src = """\
+        import concurrent.futures
+        __all__ = []
+        def drain(futures):
+            for f in concurrent.futures.as_completed(futures):
+                f.result()
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == ["MAYA030"]
+
+    def test_flags_iteration_over_set_call(self):
+        src = """\
+        __all__ = []
+        def drain(futures):
+            for f in set(futures):
+                f.result()
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == ["MAYA030"]
+
+    def test_flags_set_comprehension_iteration(self):
+        src = """\
+        __all__ = []
+        def drain(futures):
+            return [f.result() for f in {f for f in futures}]
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == ["MAYA030"]
+
+    def test_list_iteration_is_clean(self):
+        src = """\
+        __all__ = []
+        def drain(futures):
+            return [f.result() for f in futures]
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == []
+
+    def test_only_applies_inside_exec_package(self):
+        src = """\
+        from concurrent.futures import as_completed
+        __all__ = []
+        def drain(futures):
+            return [f.result() for f in as_completed(futures)]
+        """
+        assert rule_ids(src, path="src/repro/experiments/example.py") == []
+
+    def test_suppressible_with_targeted_ignore(self):
+        src = """\
+        from concurrent.futures import as_completed
+        __all__ = []
+        def drain(futures):
+            return [f.result() for f in as_completed(futures)]  # maya: ignore[MAYA030]
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == []
 
 
 class TestSyntaxErrors:

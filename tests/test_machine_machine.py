@@ -112,6 +112,38 @@ class TestAccounting:
         assert slow.work_done / fast.work_done == pytest.approx(0.6**0.3, rel=0.02)
 
 
+class _StalledPhase(Phase):
+    """A pathological phase whose progress rate is not a positive float."""
+
+    rate: float = 0.0
+
+    def progress_rate(self, freq_fraction, idle_frac, balloon_level):
+        return self.rate
+
+
+def _stalled_program(rate):
+    phase = _StalledPhase("stalled", 1.0, 0.2, 0.5)
+    object.__setattr__(phase, "rate", rate)
+    return PhaseProgram(name="stalled", phases=(phase,))
+
+
+class TestProgressRateClamp:
+    """Regression: a zero/NaN progress rate used to divide by zero."""
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, float("nan"), float("inf")])
+    def test_pathological_rate_stays_finite(self, rate):
+        machine = machine_for(_stalled_program(rate))
+        power, _ = machine.advance(0.5, max_perf())
+        assert power.size == 500
+        assert np.all(np.isfinite(power))
+        assert machine.time_s == pytest.approx(0.5)
+
+    def test_zero_rate_never_completes(self):
+        machine = machine_for(_stalled_program(0.0))
+        machine.advance(2.0, max_perf())
+        assert not machine.completed
+
+
 class TestJitter:
     def test_jitter_perturbs_program(self):
         base = two_phase_program()

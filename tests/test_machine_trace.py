@@ -1,5 +1,9 @@
 """Tests for repro.machine.trace."""
 
+import pathlib
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -56,3 +60,92 @@ class TestTrace:
 
     def test_summary_incomplete_run(self):
         assert make_trace().summary()["completed_at_s"] is None
+
+
+class TestEquals:
+    def test_identical_traces_are_equal(self):
+        assert make_trace().equals(make_trace())
+
+    def test_nan_fields_compare_equal(self):
+        # completed_at_s and the first target are NaN by construction.
+        assert make_trace(completed_at=np.nan).equals(make_trace(completed_at=np.nan))
+
+    def test_single_bit_difference_detected(self):
+        a, b = make_trace(), make_trace()
+        b.power_w[17] = np.nextafter(b.power_w[17], np.inf)
+        assert not a.equals(b)
+
+    def test_metadata_difference_detected(self):
+        a = make_trace()
+        b = make_trace()
+        object.__setattr__(b, "defense", "baseline")
+        assert not a.equals(b)
+
+    def test_non_trace_is_not_equal(self):
+        assert not make_trace().equals("not a trace")
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        trace = make_trace(completed_at=0.15)
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        assert trace.equals(Trace.load_npz(path))
+
+    def test_round_trip_with_nan_completion(self, tmp_path):
+        trace = make_trace(completed_at=np.nan)
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        assert trace.equals(Trace.load_npz(path))
+
+    def test_round_trip_empty_temperature(self, tmp_path):
+        trace = make_trace()
+        assert trace.temperature_c.size == 0
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        loaded = Trace.load_npz(path)
+        assert loaded.temperature_c.size == 0
+        assert loaded.temperature_c.dtype == np.float64
+
+    def test_round_trip_with_temperature(self, tmp_path):
+        trace = make_trace()
+        object.__setattr__(trace, "temperature_c", np.linspace(30.0, 40.0, 200))
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        assert trace.equals(Trace.load_npz(path))
+
+    def test_loaded_dtypes_are_float64(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        make_trace().save_npz(path)
+        loaded = Trace.load_npz(path)
+        for name in ("power_w", "measured_w", "target_w", "settings"):
+            assert getattr(loaded, name).dtype == np.float64
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, schema=np.asarray("something.else.v9"))
+        with pytest.raises(ValueError, match="schema"):
+            Trace.load_npz(path)
+
+    def test_rejects_wrong_field_order(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        make_trace().save_npz(path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["field_order"] = np.asarray("workload,defense")
+        np.savez_compressed(tmp_path / "bad.npz", **arrays)
+        with pytest.raises(ValueError, match="field order"):
+            Trace.load_npz(tmp_path / "bad.npz")
+
+    def test_cross_process_stability(self, tmp_path):
+        """A trace written by another interpreter loads bit-identically."""
+        path = tmp_path / "trace.npz"
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "import numpy as np\n"
+            "from tests.test_machine_trace import make_trace\n"
+            f"make_trace(completed_at=0.15).save_npz({str(path)!r})\n"
+        )
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        subprocess.run([sys.executable, "-c", script], check=True, cwd=str(repo_root))
+        assert make_trace(completed_at=0.15).equals(Trace.load_npz(path))
