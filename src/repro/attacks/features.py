@@ -32,13 +32,15 @@ def segment_trace(trace: np.ndarray, segment_len: int, stride: int | None = None
     stride = segment_len if stride is None else stride
     if stride < 1:
         raise ValueError("stride must be positive")
-    starts = range(0, trace.size - segment_len + 1, stride)
-    segments = [trace[s:s + segment_len] for s in starts]
-    if not segments:
+    if trace.size < segment_len:
         raise ValueError(
             f"trace of {trace.size} samples too short for segments of {segment_len}"
         )
-    return np.asarray(segments)
+    # All windows as a zero-copy strided view, then stride selection; the
+    # final copy materializes an owned C-contiguous (n_segments, segment_len)
+    # array exactly like the old per-segment slicing loop produced.
+    windows = np.lib.stride_tricks.sliding_window_view(trace, segment_len)
+    return windows[::stride].copy()
 
 
 @dataclass(frozen=True)

@@ -114,14 +114,16 @@ def simulate_runs(
     factory: DefenseFactory,
     workers: int | None = None,
     cache: object = None,
+    backend: object = None,
 ) -> list[list[Trace]]:
     """Record ``runs_per_class`` executions of every class under the defense.
 
     Every ``(class, run)`` session is an independent declarative job, so
     the whole collection fans out through :func:`repro.exec.run_sessions`
-    (``workers`` processes, optional content-addressed trace cache) and is
-    reshaped back to the paper's ``classes x runs`` nesting — in the same
-    order, with bit-identical traces, as the serial loop this replaces.
+    (``workers`` processes or the lock-step ``backend="batch"``, optional
+    content-addressed trace cache) and is reshaped back to the paper's
+    ``classes x runs`` nesting — in the same order, with bit-identical
+    traces, as the serial loop this replaces.
     """
     jobs = [
         SessionJob.for_factory(
@@ -136,7 +138,9 @@ def simulate_runs(
         for workload_name in scenario.class_workloads
         for run in range(scenario.runs_per_class)
     ]
-    traces = run_sessions(jobs, workers=workers, cache=cache, factory=factory)
+    traces = run_sessions(
+        jobs, workers=workers, cache=cache, factory=factory, backend=backend
+    )
     per_class = scenario.runs_per_class
     return [
         traces[label * per_class:(label + 1) * per_class]
@@ -238,13 +242,15 @@ def run_attack(
     factory: DefenseFactory,
     workers: int | None = None,
     cache: object = None,
+    backend: object = None,
 ) -> AttackOutcome:
     """The full pipeline: simulate, sample, train, evaluate.
 
-    ``workers`` and ``cache`` reach the trace-collection phase only; the
-    sensor sampling and training stages are deterministic functions of the
-    collected traces, so a cached re-run reproduces the identical outcome.
+    ``workers``, ``cache`` and ``backend`` reach the trace-collection phase
+    only; the sensor sampling and training stages are deterministic
+    functions of the collected traces, so a cached or batched re-run
+    reproduces the identical outcome.
     """
-    runs = simulate_runs(scenario, factory, workers=workers, cache=cache)
+    runs = simulate_runs(scenario, factory, workers=workers, cache=cache, backend=backend)
     sampled = sample_runs(scenario, runs)
     return train_and_evaluate(scenario, sampled)

@@ -1,13 +1,18 @@
 """Pipeline micro-benchmark (``python -m repro.bench``).
 
-Times the three dominant stages of the attack pipeline — trace collection
-(serially, through the parallel execution engine, and replayed from the
+Times the dominant stages of the attack pipeline — trace collection
+(serially, through the process-parallel execution engine, through the
+vectorized lock-step batch backend, and replayed from the
 content-addressed cache), featurization, and MLP training — and writes the
 numbers to ``BENCH_pipeline.json``.
 
-The benchmark is also a determinism check: the parallel and cache-replayed
-traces are compared bit-for-bit against the serial ones, so a speedup that
-comes at the price of changed results fails loudly rather than silently.
+The benchmark is also a determinism check: the parallel, batched and
+cache-replayed traces are compared bit-for-bit against the serial ones
+(and the batch-collected traces must reproduce the identical attack
+outcome), so a speedup that comes at the price of changed results fails
+loudly rather than silently.  Every collection leg pins its backend
+explicitly, so an ambient ``REPRO_BACKEND`` (e.g. the CI batch matrix
+leg) cannot silently reroute the baselines it is measured against.
 Host wall-clock reads here measure *our* runtime, never the simulation
 (this module is a sanctioned MAYA002 timing site).
 """
@@ -40,6 +45,11 @@ SCHEMA = "maya.bench.pipeline.v1"
 #: multi-core hosts.  The issue targets ~2x with 4 workers; 1.3x keeps the
 #: gate robust against noisy CI machines.
 CHECK_MIN_SPEEDUP = 1.3
+
+#: Minimum batched-over-serial collection speedup ``--check`` demands.  The
+#: batch backend needs no extra cores — vectorizing the tick-level physics
+#: across the fleet comfortably clears 2x even on one CPU.
+BATCH_CHECK_MIN_SPEEDUP = 2.0
 
 
 def bench_scenario(smoke: bool = True, seed: int = 7) -> AttackScenario:
@@ -103,19 +113,28 @@ def run_bench(
     timings: dict[str, float] = {}
 
     start = time.perf_counter()
-    serial_runs = simulate_runs(scenario, factory, workers=1, cache=False)
+    serial_runs = simulate_runs(scenario, factory, workers=1, cache=False, backend="serial")
     timings["collect_serial_s"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    parallel_runs = simulate_runs(scenario, factory, workers=workers, cache=False)
+    parallel_runs = simulate_runs(
+        scenario, factory, workers=workers, cache=False, backend="process"
+    )
     timings["collect_parallel_s"] = time.perf_counter() - start
     parallel_matches = _traces_equal(serial_runs, parallel_runs)
 
+    start = time.perf_counter()
+    batched_runs = simulate_runs(scenario, factory, cache=False, backend="batch")
+    timings["collect_batched_s"] = time.perf_counter() - start
+    batched_matches = _traces_equal(serial_runs, batched_runs)
+
     with tempfile.TemporaryDirectory(prefix="maya-bench-cache-") as tmp:
         cache = TraceCache(root=tmp)
-        simulate_runs(scenario, factory, workers=1, cache=cache)  # populate
+        simulate_runs(scenario, factory, workers=1, cache=cache, backend="serial")
         start = time.perf_counter()
-        cached_runs = simulate_runs(scenario, factory, workers=1, cache=cache)
+        cached_runs = simulate_runs(
+            scenario, factory, workers=1, cache=cache, backend="serial"
+        )
         timings["collect_cached_s"] = time.perf_counter() - start
         cache_hits = cache.hits
         cached_matches = _traces_equal(serial_runs, cached_runs)
@@ -128,7 +147,16 @@ def run_bench(
     outcome = train_and_evaluate(scenario, sampled)
     timings["train_s"] = time.perf_counter() - start
 
+    # The downstream pipeline is a deterministic function of the traces, so
+    # batch-collected traces must yield the *identical* attack outcome.
+    batched_outcome = train_and_evaluate(scenario, sample_runs(scenario, batched_runs))
+    outcome_matches = bool(
+        batched_outcome.average_accuracy == outcome.average_accuracy
+        and (batched_outcome.result.matrix == outcome.result.matrix).all()
+    )
+
     speedup = timings["collect_serial_s"] / max(timings["collect_parallel_s"], 1e-9)
+    batched_speedup = timings["collect_serial_s"] / max(timings["collect_batched_s"], 1e-9)
     cache_speedup = timings["collect_serial_s"] / max(timings["collect_cached_s"], 1e-9)
     cpu_count = os.cpu_count() or 1
     report = {
@@ -141,9 +169,12 @@ def run_bench(
         "cpu_count": cpu_count,
         "timings": timings,
         "parallel_speedup": speedup,
+        "batched_speedup": batched_speedup,
         "cache_speedup": cache_speedup,
         "cache_hits": int(cache_hits),
         "parallel_matches_serial": bool(parallel_matches),
+        "batched_matches_serial": bool(batched_matches),
+        "batched_outcome_matches_serial": outcome_matches,
         "cached_matches_serial": bool(cached_matches),
         "attack_accuracy": outcome.average_accuracy,
     }
@@ -152,6 +183,10 @@ def run_bench(
 
     if not parallel_matches:
         raise AssertionError("parallel traces differ from serial traces")
+    if not batched_matches:
+        raise AssertionError("batched traces differ from serial traces")
+    if not outcome_matches:
+        raise AssertionError("batch-collected traces changed the attack outcome")
     if not cached_matches:
         raise AssertionError("cached traces differ from serial traces")
     if check:
@@ -165,5 +200,10 @@ def run_bench(
             raise AssertionError(
                 f"parallel speedup {speedup:.2f}x below the "
                 f"{CHECK_MIN_SPEEDUP}x floor on a {cpu_count}-core host"
+            )
+        if batched_speedup < BATCH_CHECK_MIN_SPEEDUP:
+            raise AssertionError(
+                f"batched speedup {batched_speedup:.2f}x below the "
+                f"{BATCH_CHECK_MIN_SPEEDUP}x floor"
             )
     return report

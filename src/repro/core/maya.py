@@ -79,6 +79,32 @@ class MayaInstance:
         self.current_target_w = self.mask.next_target()
         return self.controller.step(self.current_target_w, measured_w)
 
+    @staticmethod
+    def decide_fleet(
+        instances: "list[MayaInstance]", measured_w: "list[float]"
+    ) -> "list[ActuatorSettings]":
+        """One lock-step wake-up for a fleet of Maya instances.
+
+        All mask targets are drawn first through the batched mask hook
+        (:func:`repro.masks.next_targets`), then the Equation-1 state
+        update runs across the fleet.  The K·x matmul stays a per-session
+        loop on purpose: the controller state is a handful of floats and
+        batching it through BLAS could reorder accumulations, while the
+        tick-level physics the batched backend vectorizes is what
+        dominates.  Each instance consumes its own RNG and state exactly
+        as :meth:`decide` would, so the settings are bit-identical.
+        """
+        from ..masks import next_targets
+
+        targets_w = next_targets([instance.mask for instance in instances])
+        settings: list[ActuatorSettings] = []
+        for instance, target_w, measurement_w in zip(instances, targets_w, measured_w):
+            instance.current_target_w = float(target_w)
+            settings.append(
+                instance.controller.step(instance.current_target_w, measurement_w)
+            )
+        return settings
+
 
 def build_maya_design(
     spec: PlatformSpec,

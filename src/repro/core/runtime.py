@@ -75,6 +75,21 @@ def run_session(
     max_intervals = int(round(max_duration_s / interval_s))
     interval_cap = max_intervals if n_intervals is None else min(n_intervals, max_intervals)
 
+    # With a fixed duration every interval contributes exactly
+    # ``ticks_per_interval`` samples, so the tick-level buffers can be
+    # preallocated outright; completion-mode sessions (unknown length)
+    # keep collecting per-interval chunks.
+    ticks_per_interval = int(round(interval_s / machine.tick_s))
+    if n_intervals is not None:
+        power_buffer = np.empty(interval_cap * ticks_per_interval, dtype=np.float64)
+        temp_buffer = (
+            np.empty(interval_cap * ticks_per_interval, dtype=np.float64)
+            if machine.record_temperature
+            else None
+        )
+    else:
+        power_buffer = None
+        temp_buffer = None
     power_chunks: list[np.ndarray] = []
     temp_chunks: list[np.ndarray] = []
     # Per-interval logs are fixed-width, so they live in preallocated
@@ -107,9 +122,15 @@ def run_session(
         power_w, temperature_c = machine.advance(interval_s, settings)
         measurement_w = sensor.measure_window(power_w, machine.tick_s)
 
-        power_chunks.append(power_w)
-        if temperature_c.size:
-            temp_chunks.append(temperature_c)
+        if power_buffer is not None:
+            tick_start = interval_index * ticks_per_interval
+            power_buffer[tick_start:tick_start + power_w.size] = power_w
+            if temp_buffer is not None and temperature_c.size:
+                temp_buffer[tick_start:tick_start + temperature_c.size] = temperature_c
+        else:
+            power_chunks.append(power_w)
+            if temperature_c.size:
+                temp_chunks.append(temperature_c)
         measured[interval_index] = measurement_w
         targets[interval_index] = defense.current_target_w
         settings_log[interval_index, 0] = settings.freq_ghz
@@ -119,18 +140,28 @@ def run_session(
         settings = defense.decide(measurement_w)
         interval_index += 1
 
+    if power_buffer is not None:
+        power_w = power_buffer[: interval_index * ticks_per_interval]
+        temperature_c = (
+            temp_buffer[: interval_index * ticks_per_interval]
+            if temp_buffer is not None
+            else np.empty(0)
+        )
+    else:
+        power_w = np.concatenate(power_chunks)
+        temperature_c = np.concatenate(temp_chunks) if temp_chunks else np.empty(0)
     return Trace(
         workload=machine.workload.name,
         platform=spec.name,
         defense=defense.name,
         tick_s=machine.tick_s,
         interval_s=interval_s,
-        power_w=np.concatenate(power_chunks),
+        power_w=power_w,
         measured_w=measured[:interval_index].copy(),
         target_w=targets[:interval_index].copy(),
         settings=settings_log[:interval_index].copy(),
         completed_at_s=machine.completed_at_s,
-        temperature_c=(np.concatenate(temp_chunks) if temp_chunks else np.empty(0)),
+        temperature_c=temperature_c,
     )
 
 

@@ -1,6 +1,6 @@
 """The defense designs compared in the paper (Table V)."""
 
-from .base import Defense
+from .base import Defense, decide_batch
 from .selective import SelectiveMaya
 from .designs import (
     DESIGN_NAMES,
@@ -13,6 +13,7 @@ from .designs import (
 
 __all__ = [
     "Defense",
+    "decide_batch",
     "DESIGN_NAMES",
     "Baseline",
     "DefenseFactory",

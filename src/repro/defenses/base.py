@@ -15,7 +15,7 @@ import numpy as np
 
 from ..machine import ActuatorSettings, SimulatedMachine
 
-__all__ = ["Defense"]
+__all__ = ["Defense", "decide_batch"]
 
 
 class Defense(abc.ABC):
@@ -38,3 +38,33 @@ class Defense(abc.ABC):
     @abc.abstractmethod
     def decide(self, measured_w: float) -> ActuatorSettings:
         """Settings for the next interval, given the last measurement."""
+
+
+def decide_batch(defenses, measured_w) -> list:
+    """Decide one interval for a lock-step fleet of per-session defenses.
+
+    Maya instances are routed through :meth:`MayaDefense.decide_fleet`,
+    which draws all mask targets through the batched mask evaluation hook
+    and then applies the Equation-1 state update per session; every other
+    defense falls back to its own :meth:`Defense.decide`.  Each defense
+    consumes exactly the per-session values it would see serially, so the
+    emitted settings are identical to B independent ``decide`` calls.
+    """
+    from .designs import MayaDefense
+
+    settings: list = [None] * len(defenses)
+    maya_indices = [
+        index for index, defense in enumerate(defenses)
+        if isinstance(defense, MayaDefense)
+    ]
+    if maya_indices:
+        fleet_settings = MayaDefense.decide_fleet(
+            [defenses[index] for index in maya_indices],
+            [float(measured_w[index]) for index in maya_indices],
+        )
+        for index, decided in zip(maya_indices, fleet_settings):
+            settings[index] = decided
+    for index, defense in enumerate(defenses):
+        if settings[index] is None:
+            settings[index] = defense.decide(float(measured_w[index]))
+    return settings

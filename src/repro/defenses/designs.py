@@ -127,6 +127,25 @@ class MayaDefense(Defense):
         self.current_target_w = self._instance.current_target_w
         return settings
 
+    @staticmethod
+    def decide_fleet(
+        defenses: "list[MayaDefense]", measured_w: "list[float]"
+    ) -> "list[ActuatorSettings]":
+        """Batched :meth:`decide` for a lock-step fleet of Maya defenses.
+
+        Delegates to :meth:`MayaInstance.decide_fleet` (batched mask draw +
+        per-session Equation-1 update) and mirrors each defense's target
+        bookkeeping, emitting exactly what B serial ``decide`` calls would.
+        """
+        instances = []
+        for defense in defenses:
+            assert defense._instance is not None, "prepare() must be called first"
+            instances.append(defense._instance)
+        settings = MayaInstance.decide_fleet(instances, measured_w)
+        for defense, instance in zip(defenses, instances):
+            defense.current_target_w = instance.current_target_w
+        return settings
+
 
 class DefenseFactory:
     """Builds fresh per-run defense instances for a platform.

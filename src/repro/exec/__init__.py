@@ -9,14 +9,26 @@ results guaranteed bit-identical to the serial path.  See
 :mod:`repro.exec.cache` for the cache layout and environment knobs.
 """
 
+from .batch import (
+    BatchedMachine,
+    batch_key,
+    execute_jobs_batched,
+    resolve_batch_size,
+)
 from .cache import DEFAULT_CACHE_DIR, TraceCache, default_cache
-from .engine import resolve_workers, run_sessions
+from .engine import BACKENDS, resolve_backend, resolve_workers, run_sessions
 from .jobs import CACHE_EPOCH, SessionJob, code_salt, execute_job, register_factory
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "TraceCache",
     "default_cache",
+    "BACKENDS",
+    "BatchedMachine",
+    "batch_key",
+    "execute_jobs_batched",
+    "resolve_batch_size",
+    "resolve_backend",
     "resolve_workers",
     "run_sessions",
     "CACHE_EPOCH",

@@ -95,7 +95,7 @@ class TraceCache:
         if not self.root.is_dir():
             return []
         stamped = []
-        for path in self.root.glob("*.npz"):
+        for path in sorted(self.root.glob("*.npz")):
             try:
                 stat = path.stat()
             except OSError:
@@ -132,7 +132,7 @@ class TraceCache:
         """Remove every entry (and stale temp file); returns the count."""
         removed = 0
         if self.root.is_dir():
-            for path in list(self.root.glob("*.npz")) + list(self.root.glob(".*.tmp")):
+            for path in sorted(self.root.glob("*.npz")) + sorted(self.root.glob(".*.tmp")):
                 try:
                     path.unlink()
                 except OSError:

@@ -3,18 +3,27 @@
 :func:`run_sessions` is the one choke point every experiment and the
 attack pipeline route their simulation batches through.  It
 
+* resolves the execution backend (explicit argument > ``REPRO_BACKEND``
+  env > ``"process"``) — a plain in-process loop (``"serial"``), a
+  process pool (``"process"``), or the vectorized lock-step backend
+  (``"batch"``, :mod:`repro.exec.batch`);
 * resolves the worker count (explicit argument > ``REPRO_WORKERS`` env >
   serial), falling back to a plain in-process loop at ``workers=1``;
 * consults the content-addressed trace cache before simulating anything;
 * fans cache misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
   and collates results **strictly in job order** — never in completion
   order — so the output is independent of worker scheduling;
+* under the batch backend, groups compatible fixed-duration jobs by
+  :func:`~repro.exec.batch.batch_key` and advances each group lock-step,
+  falling back to the serial runner for jobs that cannot batch
+  (completion-mode or temperature-recording sessions);
 * applies a per-job timeout and retries a crashed or wedged worker's job
   exactly once, in-process (the spawn-keyed RNG makes the redo
   bit-identical).
 
-Determinism guarantee (tested): ``run_sessions(jobs, workers=n)`` returns
-traces array-equal to the serial path for every ``n``.
+Determinism guarantee (tested): ``run_sessions(jobs, workers=n)`` and
+``run_sessions(jobs, backend=b)`` return traces bit-identical to the
+serial path for every ``n`` and every backend ``b``.
 """
 
 from __future__ import annotations
@@ -26,13 +35,33 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from ..defenses.designs import DefenseFactory
 from ..machine import Trace
+from .batch import batch_key, execute_jobs_batched, resolve_batch_size
 from .cache import TraceCache, default_cache
 from .jobs import SessionJob, execute_job, register_factory
 
-__all__ = ["resolve_workers", "run_sessions"]
+__all__ = ["BACKENDS", "resolve_backend", "resolve_workers", "run_sessions"]
 
 #: Default per-job timeout (overridable via ``REPRO_JOB_TIMEOUT_S``).
 DEFAULT_JOB_TIMEOUT_S = 600.0
+
+#: Execution backends :func:`run_sessions` can route jobs through.
+BACKENDS = ("serial", "process", "batch")
+
+
+def resolve_backend(backend: object = None) -> str:
+    """Backend name: explicit argument > ``REPRO_BACKEND`` env > ``"process"``.
+
+    An explicit ``backend`` of ``None`` or ``""`` means "unset" and defers
+    to the environment.  Note ``"process"`` still runs in-process when the
+    resolved worker count is 1 — the backend only selects the fan-out
+    strategy for the jobs the cache could not answer.
+    """
+    if backend is None or backend == "":
+        backend = os.environ.get("REPRO_BACKEND", "").strip() or "process"
+    backend = str(backend)
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    return backend
 
 
 def resolve_workers(workers: object = None) -> int:
@@ -81,6 +110,8 @@ def run_sessions(
     cache: object = None,
     factory: DefenseFactory | None = None,
     timeout_s: object = None,
+    backend: object = None,
+    batch_size: object = None,
 ) -> list:
     """Execute ``jobs`` and return their traces **in job order**.
 
@@ -94,8 +125,13 @@ def run_sessions(
       workers).
     * ``timeout_s`` — per-job timeout (default ``REPRO_JOB_TIMEOUT_S`` or
       600 s); a timed-out or crashed job is retried once in-process.
+    * ``backend`` — see :func:`resolve_backend`.  Every backend returns
+      bit-identical traces; only the fan-out strategy differs.
+    * ``batch_size`` — sessions per lock-step batch under the batch
+      backend (:func:`~repro.exec.batch.resolve_batch_size`).
     """
     jobs = list(jobs)
+    backend = resolve_backend(backend)
     workers = resolve_workers(workers)
     if cache is None:
         cache = default_cache()
@@ -113,7 +149,10 @@ def run_sessions(
 
     if not pending:
         return results
-    if workers <= 1 or len(pending) == 1:
+    if backend == "batch":
+        _execute_batched(jobs, pending, results, factory, cache, batch_size)
+        return results
+    if backend == "serial" or workers <= 1 or len(pending) == 1:
         for index in pending:
             results[index] = jobs[index].execute(factory=factory)
             if cache is not None:
@@ -148,6 +187,41 @@ def _execute_parallel(jobs, pending, results, workers, factory, cache, timeout_s
         # queued jobs and the join prevents orphaned children racing
         # interpreter shutdown.
         executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _execute_batched(jobs, pending, results, factory, cache, batch_size):
+    """Advance compatible pending jobs lock-step; serial-fallback the rest.
+
+    Jobs are grouped by :func:`batch_key` through an insertion-ordered
+    dict, so grouping — like everything else in this layer — is a pure
+    function of job order (MAYA030).  Each group is chunked to the batch
+    size and simulated by :func:`execute_jobs_batched`; ungroupable jobs
+    (completion-mode, temperature-recording) run through the ordinary
+    serial runner.  Results land at their job's index either way.
+    """
+    batch_size = resolve_batch_size(batch_size)
+    groups: dict = {}
+    ungroupable: list = []
+    for index in pending:
+        key = batch_key(jobs[index])
+        if key is None:
+            ungroupable.append(index)
+        else:
+            groups.setdefault(key, []).append(index)
+    for indices in groups.values():
+        for start in range(0, len(indices), batch_size):
+            chunk = indices[start:start + batch_size]
+            traces = execute_jobs_batched(
+                [jobs[index] for index in chunk], factory=factory
+            )
+            for index, trace in zip(chunk, traces):
+                results[index] = trace
+                if cache is not None:
+                    cache.put(jobs[index], trace)
+    for index in ungroupable:
+        results[index] = jobs[index].execute(factory=factory)
+        if cache is not None:
+            cache.put(jobs[index], results[index])
 
 
 def _result_or_retry(future, job: SessionJob, factory, timeout_s: float) -> Trace:

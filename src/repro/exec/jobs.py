@@ -27,7 +27,7 @@ from pathlib import Path
 
 from ..core.runtime import make_machine, run_session
 from ..defenses.designs import DefenseFactory
-from ..machine import PlatformSpec, Trace
+from ..machine import PlatformSpec, SimulatedMachine, Trace
 from ..workloads import get_workload
 
 __all__ = ["SessionJob", "execute_job", "register_factory", "code_salt", "CACHE_EPOCH"]
@@ -150,8 +150,8 @@ class SessionJob:
             and _as_pairs(factory.design_overrides) == self.design_overrides
         )
 
-    def execute(self, factory: DefenseFactory | None = None) -> Trace:
-        """Run the session and return its trace.
+    def resolve_factory(self, factory: DefenseFactory | None = None) -> DefenseFactory:
+        """The factory to build this job's defense with.
 
         ``factory`` is an in-process optimization only: it is used when it
         matches the job's declarative description (skipping a rebuild of
@@ -160,8 +160,12 @@ class SessionJob:
         """
         if factory is None or not self.matches_factory(factory):
             factory = _factory_for(self)
+        return factory
+
+    def build_machine(self) -> "SimulatedMachine":
+        """A fresh simulated machine seeded exactly as this job describes."""
         workload = get_workload(self.workload, **dict(self.workload_kwargs))
-        machine = make_machine(
+        return make_machine(
             self.spec,
             workload,
             seed=self.seed,
@@ -170,8 +174,12 @@ class SessionJob:
             record_temperature=self.record_temperature,
             workload_jitter=self.workload_jitter,
         )
+
+    def execute(self, factory: DefenseFactory | None = None) -> Trace:
+        """Run the session and return its trace (see :meth:`resolve_factory`)."""
+        factory = self.resolve_factory(factory)
         return run_session(
-            machine,
+            self.build_machine(),
             factory.create(self.defense),
             seed=self.seed,
             run_id=self.run_id,

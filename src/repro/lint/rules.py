@@ -468,7 +468,9 @@ class NondeterministicCollationRule(Rule):
         for node in ast.walk(tree):
             if isinstance(node, ast.For):
                 iterables.append(node.iter)
-            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
                 iterables.extend(gen.iter for gen in node.generators)
         for iterable in iterables:
             if self._is_unordered(iterable, aliases):
@@ -477,4 +479,61 @@ class NondeterministicCollationRule(Rule):
                     iterable.col_offset,
                     "iteration over an unordered set in the execution "
                     "layer; results must be collated in job order",
+                )
+
+
+# --------------------------------------------------------------------------
+# MAYA031 — execution-layer filesystem enumeration must be sorted
+# --------------------------------------------------------------------------
+
+
+@register
+class UnsortedEnumerationRule(Rule):
+    """Directory listing order is a filesystem accident; sort it.
+
+    ``os.listdir``/``os.scandir``/``glob`` and the ``Path.glob``/
+    ``rglob``/``iterdir`` methods return entries in whatever order the
+    filesystem happens to hold them — it differs between ext4, tmpfs and
+    CI containers.  Inside ``src/repro/exec/`` that order feeds cache
+    eviction and the code-salt digest, so an unsorted enumeration makes
+    behaviour host-dependent.  Wrap the call in ``sorted(...)`` (or
+    suppress with ``# maya: ignore[MAYA031]`` where order provably cannot
+    matter).
+    """
+
+    rule_id = "MAYA031"
+    severity = "error"
+    summary = "unsorted filesystem enumeration in the execution layer"
+
+    scoped_path_fragment = "repro/exec/"
+
+    _module_functions = frozenset(
+        {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+    )
+    _method_suffixes = (".glob", ".rglob", ".iterdir")
+
+    def _is_enumeration(self, resolved: str) -> bool:
+        if resolved in self._module_functions:
+            return True
+        return resolved.endswith(self._method_suffixes)
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[RawFinding]:
+        if self.scoped_path_fragment not in ctx.path:
+            return
+        sorted_wrapped = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"
+                and node.args
+            ):
+                sorted_wrapped.add(id(node.args[0]))
+        for call, resolved in _resolved_calls(tree):
+            if self._is_enumeration(resolved) and id(call) not in sorted_wrapped:
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    f"{resolved}() enumerates the filesystem in arbitrary "
+                    "order; wrap the call in sorted()",
                 )

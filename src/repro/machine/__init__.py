@@ -15,9 +15,9 @@ from .actuators import (
 )
 from .machine import SimulatedMachine
 from .platform import PLATFORMS, SYS1, SYS2, SYS3, PlatformSpec, get_platform
-from .power import PowerBreakdown, PowerModel
+from .power import PowerBreakdown, PowerModel, batch_window_power
 from .rng import spawn
-from .sensors import OutletMeter, RaplSensor, window_means
+from .sensors import BatchedRaplSensor, OutletMeter, RaplSensor, window_means
 from .thermal import ThermalModel
 from .trace import Trace
 
@@ -37,7 +37,9 @@ __all__ = [
     "get_platform",
     "PowerBreakdown",
     "PowerModel",
+    "batch_window_power",
     "spawn",
+    "BatchedRaplSensor",
     "OutletMeter",
     "RaplSensor",
     "window_means",

@@ -78,37 +78,35 @@ class SimulatedMachine:
         if self.thermal is not None:
             self.thermal.reset()
 
-    def advance(
-        self, duration_s: float, settings: ActuatorSettings
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Run the machine for ``duration_s`` with constant settings.
+    def activity_profile(
+        self,
+        n_ticks: int,
+        settings: ActuatorSettings,
+        activity_out: np.ndarray,
+        core_fraction_out: np.ndarray,
+    ) -> None:
+        """Advance the workload ``n_ticks`` and fill its per-tick profile.
 
-        Returns ``(power_w, temperature_c)`` per tick; the temperature array
-        is empty unless the machine records temperature.
+        This is the phase-cursor half of :meth:`advance`: it updates the
+        machine's work/time accounting and writes the window's switching
+        activity and core occupancy into the provided ``n_ticks``-length
+        buffers, without evaluating the power model.  The batched backend
+        (:mod:`repro.exec.batch`) calls it once per session per interval
+        and then evaluates the physics for the whole fleet at once.
         """
-        n_ticks = int(round(duration_s / self.tick_s))
         if n_ticks <= 0:
             raise ValueError("duration shorter than one tick")
         freq_fraction = settings.freq_ghz / self.spec.freq_max_ghz
 
-        power_chunks: list[np.ndarray] = []
-        ticks_left = n_ticks
-        while ticks_left > 0:
+        filled = 0
+        while filled < n_ticks:
+            ticks_left = n_ticks - filled
             if self.completed:
                 # Application finished: only static power, noise, and any
                 # balloon the defense keeps running.
-                activity = np.zeros(ticks_left)
-                power_chunks.append(
-                    self.power_model.window_power(
-                        activity,
-                        core_fraction=0.0,
-                        freq_ghz=settings.freq_ghz,
-                        idle_frac=settings.idle_frac,
-                        balloon_level=settings.balloon_level,
-                    )
-                )
+                activity_out[filled:n_ticks] = 0.0
+                core_fraction_out[filled:n_ticks] = 0.0
                 self.time_s += ticks_left * self.tick_s
-                ticks_left = 0
                 break
 
             phase = self.workload.phases[self._phase_index]
@@ -131,22 +129,15 @@ class SimulatedMachine:
             work_times = self._work_into_phase + work_per_tick * (
                 np.arange(seg_ticks) + 1.0
             )
-            activity = phase.activity_at(work_times)
-            power_chunks.append(
-                self.power_model.window_power(
-                    activity,
-                    core_fraction=phase.core_fraction,
-                    freq_ghz=settings.freq_ghz,
-                    idle_frac=settings.idle_frac,
-                    balloon_level=settings.balloon_level,
-                )
-            )
+            seg_end = filled + seg_ticks
+            activity_out[filled:seg_end] = phase.activity_at(work_times)
+            core_fraction_out[filled:seg_end] = phase.core_fraction
 
             advanced_work = work_per_tick * seg_ticks
             self._work_into_phase += advanced_work
             self.work_done += advanced_work
             self.time_s += seg_ticks * self.tick_s
-            ticks_left -= seg_ticks
+            filled = seg_end
 
             if self._work_into_phase >= phase.work_units - 1e-9:
                 self._work_into_phase = 0.0
@@ -154,7 +145,29 @@ class SimulatedMachine:
                 if self.completed and not np.isfinite(self.completed_at_s):
                     self.completed_at_s = self.time_s
 
-        power_w = np.concatenate(power_chunks) if len(power_chunks) > 1 else power_chunks[0]
+    def advance(
+        self, duration_s: float, settings: ActuatorSettings
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the machine for ``duration_s`` with constant settings.
+
+        Returns ``(power_w, temperature_c)`` per tick; the temperature array
+        is empty unless the machine records temperature.  The whole window
+        is evaluated in a single :meth:`PowerModel.window_power` call over
+        the per-tick activity/occupancy profile: the AR(1) shock stream and
+        the row-wise filter split identically at segment boundaries, so the
+        result is bit-identical to the historical per-segment evaluation.
+        """
+        n_ticks = int(round(duration_s / self.tick_s))
+        activity = np.empty(n_ticks if n_ticks > 0 else 0)
+        core_fraction = np.empty_like(activity)
+        self.activity_profile(n_ticks, settings, activity, core_fraction)
+        power_w = self.power_model.window_power(
+            activity,
+            core_fraction=core_fraction,
+            freq_ghz=settings.freq_ghz,
+            idle_frac=settings.idle_frac,
+            balloon_level=settings.balloon_level,
+        )
         if self.thermal is not None:
             temperature_c = self.thermal.advance(power_w, self.tick_s)
         else:

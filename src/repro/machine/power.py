@@ -16,6 +16,19 @@ here keeps exactly that coupling:
 All terms are normalized so that the platform's quoted maxima
 (:attr:`PlatformSpec.max_app_dynamic_w` etc.) are hit at full activity and
 the highest DVFS level, making the model easy to calibrate per platform.
+
+The per-operating-point scalars (:meth:`PowerModel.dvfs_scale`,
+:meth:`PowerModel.static_power`, :meth:`PowerModel.idle_scale`) are
+memoized: the actuators only ever command a small discrete set of levels,
+so each value is computed once per model and then served from a dict.
+
+:func:`batch_window_power` is the lock-step twin of
+:meth:`PowerModel.window_power` used by the batched execution backend
+(:mod:`repro.exec.batch`): it evaluates B sessions' windows as one
+``(B, ticks)`` array, drawing each session's shocks from its own RNG and
+filtering all noise rows with a single row-wise ``lfilter`` call.  Every
+elementwise operation mirrors the serial expression order exactly, so the
+results are bit-identical to B separate ``window_power`` calls.
 """
 
 from __future__ import annotations
@@ -23,10 +36,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.signal import lfilter
 
 from .platform import PlatformSpec
 
-__all__ = ["PowerBreakdown", "PowerModel"]
+__all__ = ["PowerBreakdown", "PowerModel", "batch_window_power"]
 
 
 @dataclass(frozen=True)
@@ -60,16 +74,32 @@ class PowerModel:
         self._noise_state = 0.0
         # Normalization constant: f * V^2 at the top DVFS point.
         self._fv2_max = spec.freq_max_ghz * spec.voltage(spec.freq_max_ghz) ** 2
+        #: Shock standard deviation that makes the AR(1) process stationary
+        #: at ``spec.process_noise_w``.
+        self._shock_sigma_w = spec.process_noise_w * np.sqrt(1.0 - self.NOISE_RHO**2)
+        # Operating-point memos: the actuators expose a few dozen discrete
+        # levels, so each scalar is computed at most once per model.
+        self._dvfs_scale_memo: dict[float, float] = {}
+        self._static_power_memo: dict[float, float] = {}
+        self._idle_scale_memo: dict[float, float] = {}
 
     def dvfs_scale(self, freq_ghz: float) -> float:
         """Relative dynamic-power scale ``f V(f)^2 / (f_max V_max^2)``."""
-        volt = self.spec.voltage(freq_ghz)
-        return float(freq_ghz * volt**2 / self._fv2_max)
+        scale = self._dvfs_scale_memo.get(freq_ghz)
+        if scale is None:
+            volt = self.spec.voltage(freq_ghz)
+            scale = float(freq_ghz * volt**2 / self._fv2_max)
+            self._dvfs_scale_memo[freq_ghz] = scale
+        return scale
 
     def static_power(self, freq_ghz: float) -> float:
         """Leakage/uncore power; scales mildly with supply voltage."""
-        volt = self.spec.voltage(freq_ghz)
-        return self.spec.static_power_w * (0.6 + 0.4 * volt / self.spec.volt_max)
+        power_w = self._static_power_memo.get(freq_ghz)
+        if power_w is None:
+            volt = self.spec.voltage(freq_ghz)
+            power_w = self.spec.static_power_w * (0.6 + 0.4 * volt / self.spec.volt_max)
+            self._static_power_memo[freq_ghz] = power_w
+        return power_w
 
     #: Fraction of its nominal power the balloon develops on a core it
     #: shares with the application through SMT (it gets the spare issue
@@ -84,7 +114,7 @@ class PowerModel:
     def app_power(
         self,
         activity: np.ndarray | float,
-        core_fraction: float,
+        core_fraction: np.ndarray | float,
         freq_ghz: float,
         idle_frac: float,
     ) -> np.ndarray | float:
@@ -92,16 +122,17 @@ class PowerModel:
 
         ``activity`` is the per-tick switching-activity level in [0, 1];
         ``core_fraction`` is the fraction of logical cores the application
-        occupies (sequential phases use few cores, parallel phases all).
-        Idle injection gates dynamic switching on all cores.
+        occupies (sequential phases use few cores, parallel phases all) —
+        a scalar, or a per-tick array when the window crosses a phase
+        boundary.  Idle injection gates dynamic switching on all cores.
         """
         scale = self.dvfs_scale(freq_ghz) * self.idle_scale(idle_frac)
         return self.spec.max_app_dynamic_w * np.asarray(activity) * core_fraction * scale
 
     def balloon_power(
         self, balloon_level: float, freq_ghz: float, idle_frac: float,
-        app_core_fraction: float = 0.0,
-    ) -> float:
+        app_core_fraction: np.ndarray | float = 0.0,
+    ) -> np.ndarray | float:
         """Dynamic power of the balloon task at the given duty cycle.
 
         The balloon spawns one thread per logical core, so it shares the
@@ -112,23 +143,29 @@ class PowerModel:
         This is why the balloon's power authority — and hence the plant
         gain the controller sees — varies with what the application is
         doing, the model uncertainty the synthesis guardband absorbs.
+        ``app_core_fraction`` may be a per-tick array; the result is then
+        an array too.
         """
         scale = self.dvfs_scale(freq_ghz) * self.idle_scale(idle_frac)
         occupancy = (1.0 - app_core_fraction) + self.SMT_BALLOON_SHARE * app_core_fraction
-        return float(self.spec.max_balloon_dynamic_w * balloon_level * occupancy * scale)
+        power_w = self.spec.max_balloon_dynamic_w * balloon_level * occupancy * scale
+        if isinstance(power_w, np.ndarray):
+            return power_w
+        return float(power_w)
 
     def idle_scale(self, idle_frac: float) -> float:
         """Dynamic-power multiplier of the idle-injection level."""
-        return 1.0 - self.IDLE_POWER_EFFECTIVENESS * idle_frac
+        scale = self._idle_scale_memo.get(idle_frac)
+        if scale is None:
+            scale = 1.0 - self.IDLE_POWER_EFFECTIVENESS * idle_frac
+            self._idle_scale_memo[idle_frac] = scale
+        return scale
 
     def process_noise(self, n_ticks: int) -> np.ndarray:
         """Advance the AR(1) noise process by ``n_ticks`` and return it."""
-        from scipy.signal import lfilter
-
         if n_ticks == 0:
             return np.empty(0)
-        sigma_w = self.spec.process_noise_w * np.sqrt(1.0 - self.NOISE_RHO**2)
-        shocks = self._rng.normal(0.0, sigma_w, size=n_ticks)
+        shocks = self._rng.normal(0.0, self._shock_sigma_w, size=n_ticks)
         # AR(1): noise[i] = rho * noise[i-1] + shock[i], seeded with the
         # state carried over from the previous window.
         noise, zf = lfilter(
@@ -140,12 +177,16 @@ class PowerModel:
     def window_power(
         self,
         activity: np.ndarray,
-        core_fraction: float,
+        core_fraction: np.ndarray | float,
         freq_ghz: float,
         idle_frac: float,
         balloon_level: float,
     ) -> np.ndarray:
-        """True per-tick power over a window with constant settings."""
+        """True per-tick power over a window with constant settings.
+
+        ``core_fraction`` may be a per-tick array (the occupancy profile of
+        a window that crosses phase boundaries) or a scalar.
+        """
         activity = np.asarray(activity, dtype=float)
         static_w = self.static_power(freq_ghz)
         app_w = self.app_power(activity, core_fraction, freq_ghz, idle_frac)
@@ -185,3 +226,51 @@ class PowerModel:
         """Lower bound (lowest DVFS, max idle injection, no balloon)."""
         spec = self.spec
         return self.static_power(spec.freq_min_ghz)
+
+
+def batch_window_power(
+    models: "list[PowerModel]",
+    activity: np.ndarray,
+    core_fraction: np.ndarray,
+    settings: "list",
+) -> np.ndarray:
+    """Evaluate one window for B lock-step sessions as a ``(B, ticks)`` array.
+
+    ``models`` are the sessions' own :class:`PowerModel` instances (all for
+    the same platform spec); ``activity`` and ``core_fraction`` hold the
+    sessions' per-tick profiles; ``settings`` the per-session actuator
+    settings held during the window.  Shocks are drawn from each model's
+    own RNG in session order and all rows are filtered in one row-wise
+    ``lfilter`` call, advancing every model's carried AR(1) state — the
+    per-element arithmetic replays :meth:`PowerModel.window_power`'s
+    expression order exactly, so the result is bit-identical to B serial
+    calls.
+    """
+    n_sessions, n_ticks = activity.shape
+    spec = models[0].spec
+    scale = np.empty(n_sessions)
+    static_w = np.empty(n_sessions)
+    balloon_peak_w = np.empty(n_sessions)
+    shocks_w = np.empty((n_sessions, n_ticks))
+    zi = np.empty((n_sessions, 1))
+    rho = PowerModel.NOISE_RHO
+    for row, (model, applied) in enumerate(zip(models, settings)):
+        scale[row] = model.dvfs_scale(applied.freq_ghz) * model.idle_scale(
+            applied.idle_frac
+        )
+        static_w[row] = model.static_power(applied.freq_ghz)
+        balloon_peak_w[row] = spec.max_balloon_dynamic_w * applied.balloon_level
+        # Per-session draws from per-session streams: a generator fills a
+        # size-n request identically to n sequential scalar draws, so the
+        # serial runner's window-sized draws are reproduced exactly.
+        shocks_w[row] = model._rng.normal(0.0, model._shock_sigma_w, size=n_ticks)
+        zi[row, 0] = rho * model._noise_state
+    noise_w, _ = lfilter([1.0], [1.0, -rho], shocks_w, axis=-1, zi=zi)
+    for row, model in enumerate(models):
+        model._noise_state = float(noise_w[row, -1])
+
+    app_w = spec.max_app_dynamic_w * activity * core_fraction * scale[:, None]
+    occupancy = (1.0 - core_fraction) + PowerModel.SMT_BALLOON_SHARE * core_fraction
+    balloon_w = balloon_peak_w[:, None] * occupancy * scale[:, None]
+    power_w = static_w[:, None] + app_w + balloon_w + noise_w
+    return np.maximum(power_w, 0.1)

@@ -20,7 +20,7 @@ import numpy as np
 
 from .platform import PlatformSpec
 
-__all__ = ["RaplSensor", "OutletMeter", "window_means"]
+__all__ = ["RaplSensor", "BatchedRaplSensor", "OutletMeter", "window_means"]
 
 
 def window_means(values: np.ndarray, window: int) -> np.ndarray:
@@ -77,6 +77,38 @@ class RaplSensor:
         quant_w = self.ENERGY_QUANTUM_J / (window * tick_s)
         means = np.round(means / quant_w) * quant_w
         return means + self._rng.normal(0.0, self.noise_w, size=means.size)
+
+
+class BatchedRaplSensor:
+    """Lock-step view over the per-session RAPL sensors of a fleet.
+
+    Used by the batched execution backend: one window measurement for B
+    sessions becomes a single row-wise reduction over a ``(B, ticks)``
+    power array, with each session's counter noise still drawn from that
+    session's own sensor RNG (in session order), so every element is
+    bit-identical to :meth:`RaplSensor.measure_window` on that row.
+    """
+
+    def __init__(self, sensors: "list[RaplSensor]") -> None:
+        if not sensors:
+            raise ValueError("need at least one sensor")
+        self.sensors = list(sensors)
+
+    def measure_windows(self, tick_powers: np.ndarray, tick_s: float) -> np.ndarray:
+        """Per-session average power over one interval, as counters report it."""
+        tick_powers = np.asarray(tick_powers, dtype=float)
+        if tick_powers.ndim != 2 or tick_powers.shape[0] != len(self.sensors):
+            raise ValueError("expected one row of tick powers per sensor")
+        if tick_powers.shape[1] == 0:
+            raise ValueError("cannot measure an empty window")
+        duration_s = tick_powers.shape[1] * tick_s
+        quantum_j = RaplSensor.ENERGY_QUANTUM_J
+        energy_j = np.sum(tick_powers, axis=1) * tick_s
+        energy_j = np.round(energy_j / quantum_j) * quantum_j
+        noise_w = np.empty(len(self.sensors))
+        for row, sensor in enumerate(self.sensors):
+            noise_w[row] = sensor._rng.normal(0.0, sensor.noise_w)
+        return energy_j / duration_s + noise_w
 
 
 class OutletMeter:

@@ -1,6 +1,6 @@
 """Mask generators (Section IV-C) and the Table II property analyzer."""
 
-from .base import NHOLD_RANGE, MaskGenerator, SegmentedMask
+from .base import NHOLD_RANGE, MaskGenerator, SegmentedMask, next_targets
 from .generators import (
     MASK_FAMILIES,
     ConstantMask,
@@ -16,6 +16,7 @@ __all__ = [
     "NHOLD_RANGE",
     "MaskGenerator",
     "SegmentedMask",
+    "next_targets",
     "MASK_FAMILIES",
     "ConstantMask",
     "GaussianMask",

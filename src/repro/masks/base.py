@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MaskGenerator", "SegmentedMask", "NHOLD_RANGE"]
+__all__ = ["MaskGenerator", "SegmentedMask", "NHOLD_RANGE", "next_targets"]
 
 #: Section V-B: parameters are held for 6..120 samples.
 NHOLD_RANGE: tuple[int, int] = (6, 120)
@@ -53,13 +53,33 @@ class MaskGenerator(abc.ABC):
 
     def generate(self, n_samples: int) -> np.ndarray:
         """Convenience: materialize ``n_samples`` targets."""
-        return np.array([self.next_target() for _ in range(n_samples)])
+        targets_w = np.empty(n_samples, dtype=np.float64)
+        for index in range(n_samples):
+            targets_w[index] = self.next_target()
+        return targets_w
 
     def reset(self) -> None:
         """Start a fresh segment schedule (keeps the RNG stream)."""
 
     def _clip(self, value: float) -> float:
         return float(np.clip(value, self.low_w, self.high_w))
+
+
+def next_targets(masks: "list[MaskGenerator]") -> np.ndarray:
+    """One target per generator, evaluated lock-step across a fleet.
+
+    This is the batched-backend entry point for mask evaluation: the
+    per-session draws stay on each mask's own RNG stream (in fleet order),
+    and the per-sample arithmetic deliberately stays scalar — numpy's SIMD
+    transcendental kernels are not guaranteed to round identically across
+    array lengths, and the backend's contract is bit-identity with the
+    serial runner.  The batching win is structural: one fleet-sized float64
+    vector feeds the batched controller step instead of B boxed floats.
+    """
+    targets_w = np.empty(len(masks), dtype=np.float64)
+    for index, mask in enumerate(masks):
+        targets_w[index] = mask.next_target()
+    return targets_w
 
 
 class SegmentedMask(MaskGenerator):

@@ -36,6 +36,37 @@ class TestSegmentTrace:
             start = k * stride
             assert np.array_equal(segment, trace[start:start + seg_len])
 
+    @given(
+        st.integers(min_value=5, max_value=120),
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=60)
+    def test_matches_list_slicing_reference(self, n_samples, seg_len, stride):
+        """The strided implementation reproduces the old slicing loop exactly."""
+        trace = np.linspace(-3.0, 7.0, n_samples)
+        starts = range(0, trace.size - seg_len + 1, stride)
+        reference = [trace[s:s + seg_len] for s in starts]
+        if not reference:
+            with pytest.raises(ValueError, match="too short for segments"):
+                segment_trace(trace, seg_len, stride)
+            return
+        segments = segment_trace(trace, seg_len, stride)
+        assert segments.dtype == np.float64
+        assert np.array_equal(segments, np.asarray(reference))
+
+    def test_result_owns_its_memory(self):
+        """Writing to a segment must never reach back into the trace."""
+        trace = np.arange(12, dtype=float)
+        segments = segment_trace(trace, 4)
+        assert segments.flags.owndata and segments.flags.writeable
+        segments[0, 0] = 99.0
+        assert trace[0] == 0.0
+
+    def test_error_message_reports_sizes(self):
+        with pytest.raises(ValueError, match="trace of 3 samples too short for segments of 10"):
+            segment_trace(np.arange(3, dtype=float), 10)
+
 
 class TestFeatureConfig:
     def test_invalid_mode(self):

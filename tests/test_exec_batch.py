@@ -1,0 +1,259 @@
+"""Tests for repro.exec.batch: the lock-step batched execution backend.
+
+The contract under test is absolute: every trace the batched backend
+produces must be bit-identical (``Trace.equals``) to the serial runner's,
+for every platform, any mix of workloads/defenses/seeds within a batch,
+and any batch size — and traces it feeds the cache must replay into the
+identical attack outcome.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.mlp import MLPConfig
+from repro.attacks.pipeline import AttackScenario, run_attack
+from repro.exec import (
+    BatchedMachine,
+    SessionJob,
+    TraceCache,
+    batch_key,
+    execute_jobs_batched,
+    resolve_backend,
+    resolve_batch_size,
+    run_sessions,
+)
+from repro.exec.batch import DEFAULT_BATCH_SIZE
+from repro.machine import SYS1, SYS2, SYS3
+
+
+def make_job(
+    workload="volrend",
+    defense="baseline",
+    spec=SYS1,
+    seed=11,
+    run=0,
+    duration_s=1.0,
+    **kwargs,
+):
+    return SessionJob(
+        spec=spec,
+        workload=workload,
+        defense=defense,
+        seed=seed,
+        run_id=("batch-test", workload, defense, run),
+        duration_s=duration_s,
+        **kwargs,
+    )
+
+
+class TestResolveBackend:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "batch")
+        assert resolve_backend("serial") == "serial"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "batch")
+        assert resolve_backend() == "batch"
+        assert resolve_backend("") == "batch"  # "" = unset, defer to env
+
+    def test_default_is_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend() == "process"
+
+    def test_unknown_backend_raises(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("threads")
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend()
+
+
+class TestResolveBatchSize:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "64")
+        assert resolve_batch_size(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "7")
+        assert resolve_batch_size() == 7
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
+        assert resolve_batch_size() == DEFAULT_BATCH_SIZE
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "lots")
+        with pytest.raises(ValueError):
+            resolve_batch_size()
+
+
+class TestBatchKey:
+    def test_compatible_jobs_share_a_key(self):
+        a = make_job(workload="volrend", defense="baseline")
+        b = make_job(workload="water_nsquared", defense="random_inputs", seed=3)
+        assert batch_key(a) == batch_key(b) is not None
+
+    def test_completion_mode_is_ungroupable(self):
+        assert batch_key(make_job(duration_s=None)) is None
+
+    def test_temperature_recording_is_ungroupable(self):
+        assert batch_key(make_job(record_temperature=True)) is None
+
+    def test_different_grids_get_different_keys(self):
+        assert batch_key(make_job(duration_s=1.0)) != batch_key(make_job(duration_s=2.0))
+        assert batch_key(make_job(spec=SYS1)) != batch_key(make_job(spec=SYS2))
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("spec", [SYS1, SYS2, SYS3], ids=["sys1", "sys2", "sys3"])
+    def test_batch_matches_serial_per_platform(self, spec):
+        jobs = [
+            make_job(workload=workload, spec=spec, seed=5, run=run)
+            for run, workload in enumerate(("volrend", "water_nsquared", "volrend"))
+        ]
+        batched = execute_jobs_batched(jobs)
+        for job, trace in zip(jobs, batched):
+            assert trace.equals(job.execute())
+
+    def test_heterogeneous_batch_matches_serial(self, sys1_factory):
+        """Mixed workloads, defenses (incl. maya_gs) and seeds in one batch."""
+        jobs = [
+            SessionJob.for_factory(
+                sys1_factory,
+                workload=workload,
+                defense=defense,
+                seed=seed,
+                run_id=("batch-hetero", defense, seed),
+                duration_s=1.0,
+            )
+            for workload, defense, seed in (
+                ("volrend", "baseline", 1),
+                ("water_nsquared", "noisy_baseline", 2),
+                ("volrend", "random_inputs", 3),
+                ("water_nsquared", "maya_gs", 4),
+                ("volrend", "maya_gs", 5),
+            )
+        ]
+        batched = execute_jobs_batched(jobs, factory=sys1_factory)
+        for job, trace in zip(jobs, batched):
+            assert trace.equals(job.execute(factory=sys1_factory))
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 8])
+    def test_batch_size_never_changes_results(self, batch_size):
+        jobs = [
+            make_job(workload=workload, seed=9, run=run)
+            for run in range(3)
+            for workload in ("volrend", "water_nsquared")
+        ]
+        serial = run_sessions(jobs, cache=False, backend="serial")
+        batched = run_sessions(
+            jobs, cache=False, backend="batch", batch_size=batch_size
+        )
+        for a, b in zip(serial, batched):
+            assert a.equals(b)
+
+    def test_target_and_settings_logs_match(self, sys1_factory):
+        """The per-interval logs (mask targets, actuations) are replayed too."""
+        job = SessionJob.for_factory(
+            sys1_factory,
+            workload="volrend",
+            defense="maya_gs",
+            seed=21,
+            run_id="batch-logs",
+            duration_s=1.0,
+        )
+        [batched] = execute_jobs_batched([job], factory=sys1_factory)
+        serial = job.execute(factory=sys1_factory)
+        assert np.array_equal(batched.target_w, serial.target_w, equal_nan=True)
+        assert np.array_equal(batched.settings, serial.settings)
+        # No target exists before the first decide; every later interval has one.
+        assert np.isfinite(batched.target_w[1:]).all()
+
+
+class TestBatchedMachineValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedMachine([])
+
+    def test_mixed_spec_rejected(self):
+        machines = [make_job(spec=SYS1).build_machine(), make_job(spec=SYS2).build_machine()]
+        with pytest.raises(ValueError, match="share spec and tick"):
+            BatchedMachine(machines)
+
+    def test_mixed_batch_key_rejected(self):
+        with pytest.raises(ValueError, match="batch_key"):
+            execute_jobs_batched([make_job(duration_s=1.0), make_job(duration_s=2.0)])
+
+    def test_empty_job_list_is_empty_result(self):
+        assert execute_jobs_batched([]) == []
+
+
+class TestEngineIntegration:
+    def test_mixed_groups_and_fallback_keep_job_order(self):
+        """Ungroupable jobs fall back to serial, results stay in job order."""
+        jobs = [
+            make_job(workload="volrend", duration_s=1.0),
+            make_job(workload="water_nsquared", duration_s=None, max_duration_s=1.0),
+            make_job(workload="water_nsquared", duration_s=2.0),
+            make_job(workload="volrend", duration_s=1.0, run=1),
+        ]
+        serial = run_sessions(jobs, cache=False, backend="serial")
+        batched = run_sessions(jobs, cache=False, backend="batch")
+        assert [t.workload for t in batched] == [j.workload for j in jobs]
+        for a, b in zip(serial, batched):
+            assert a.equals(b)
+
+    def test_env_routes_to_batch_backend(self, monkeypatch):
+        jobs = [make_job(run=run) for run in range(2)]
+        serial = run_sessions(jobs, cache=False, backend="serial")
+        monkeypatch.setenv("REPRO_BACKEND", "batch")
+        batched = run_sessions(jobs, cache=False)
+        for a, b in zip(serial, batched):
+            assert a.equals(b)
+
+    def test_batch_results_populate_the_cache(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [make_job(run=run) for run in range(3)]
+        first = run_sessions(jobs, cache=cache, backend="batch")
+        assert cache.misses == len(jobs)
+        second = run_sessions(jobs, cache=cache, backend="serial")
+        assert cache.hits == len(jobs)
+        for a, b in zip(first, second):
+            assert a.equals(b)
+
+
+class TestAttackPipelineReplay:
+    def test_batch_collected_traces_replay_into_identical_outcome(self, tmp_path):
+        """Cache traces with backend="batch", re-run the attack serially from
+        the cache: segments, training and the confusion matrix must be
+        byte-for-byte what an all-serial pipeline produces."""
+        scenario = AttackScenario(
+            name="batch-replay",
+            spec=SYS1,
+            class_workloads=("volrend", "water_nsquared"),
+            defense="baseline",
+            runs_per_class=4,
+            duration_s=2.0,
+            segment_duration_s=1.0,
+            segment_stride_s=0.5,
+            mlp=MLPConfig(hidden_sizes=(16,), max_epochs=5),
+            seed=3,
+        )
+        from repro.defenses.designs import DefenseFactory
+
+        factory = DefenseFactory(SYS1, seed=scenario.seed)
+        baseline = run_attack(scenario, factory, cache=False, backend="serial")
+
+        cache = TraceCache(root=tmp_path)
+        batched = run_attack(scenario, factory, cache=cache, backend="batch")
+        replayed = run_attack(scenario, factory, cache=cache, backend="serial")
+        assert cache.hits == 2 * scenario.runs_per_class
+
+        for outcome in (batched, replayed):
+            assert outcome.average_accuracy == baseline.average_accuracy
+            assert np.array_equal(outcome.result.matrix, baseline.result.matrix)
+            assert (outcome.n_train, outcome.n_val, outcome.n_test) == (
+                baseline.n_train,
+                baseline.n_val,
+                baseline.n_test,
+            )

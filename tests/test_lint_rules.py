@@ -24,6 +24,7 @@ class TestRegistry:
             "MAYA005",
             "MAYA006",
             "MAYA030",
+            "MAYA031",
         )
 
 
@@ -274,6 +275,14 @@ class TestNondeterministicCollation:
         """
         assert rule_ids(src, path=self.EXEC_PATH) == ["MAYA030"]
 
+    def test_flags_dict_comprehension_over_set(self):
+        src = """\
+        __all__ = []
+        def index(jobs):
+            return {job: run(job) for job in set(jobs)}
+        """
+        assert rule_ids(src, path="src/repro/exec/batch.py") == ["MAYA030"]
+
     def test_list_iteration_is_clean(self):
         src = """\
         __all__ = []
@@ -281,6 +290,15 @@ class TestNondeterministicCollation:
             return [f.result() for f in futures]
         """
         assert rule_ids(src, path=self.EXEC_PATH) == []
+
+    def test_set_membership_without_iteration_is_clean(self):
+        src = """\
+        __all__ = []
+        def consistent(jobs):
+            keys = {key(job) for job in jobs}
+            return len(keys) == 1
+        """
+        assert rule_ids(src, path="src/repro/exec/batch.py") == []
 
     def test_only_applies_inside_exec_package(self):
         src = """\
@@ -297,6 +315,65 @@ class TestNondeterministicCollation:
         __all__ = []
         def drain(futures):
             return [f.result() for f in as_completed(futures)]  # maya: ignore[MAYA030]
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == []
+
+
+class TestUnsortedEnumeration:
+    EXEC_PATH = "src/repro/exec/batch.py"
+
+    def test_flags_unsorted_path_glob(self):
+        src = """\
+        __all__ = []
+        def sweep(root):
+            for path in root.glob("*.npz"):
+                path.unlink()
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == ["MAYA031"]
+
+    def test_flags_os_listdir_and_scandir(self):
+        src = """\
+        import os
+        __all__ = []
+        def names(root):
+            return [name for name in os.listdir(root)]
+        def entries(root):
+            return list(os.scandir(root))
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == ["MAYA031", "MAYA031"]
+
+    def test_flags_rglob_and_iterdir(self):
+        src = """\
+        __all__ = []
+        def walk(root):
+            return list(root.rglob("*.py")) + list(root.iterdir())
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == ["MAYA031", "MAYA031"]
+
+    def test_sorted_wrapping_is_clean(self):
+        src = """\
+        import os
+        __all__ = []
+        def sweep(root):
+            for path in sorted(root.glob("*.npz")):
+                path.unlink()
+            return sorted(os.listdir(root))
+        """
+        assert rule_ids(src, path=self.EXEC_PATH) == []
+
+    def test_only_applies_inside_exec_package(self):
+        src = """\
+        __all__ = []
+        def sweep(root):
+            return list(root.glob("*.npz"))
+        """
+        assert rule_ids(src, path="src/repro/experiments/example.py") == []
+
+    def test_suppressible_with_targeted_ignore(self):
+        src = """\
+        __all__ = []
+        def sweep(root):
+            return list(root.glob("*.npz"))  # maya: ignore[MAYA031]
         """
         assert rule_ids(src, path=self.EXEC_PATH) == []
 

@@ -112,6 +112,32 @@ class TestWindowPower:
         assert np.array_equal(a, b)
 
 
+class TestMemoization:
+    def test_memo_hits_return_identical_values(self):
+        model = make_model()
+        assert model.dvfs_scale(1.6) == model.dvfs_scale(1.6)
+        assert model.static_power(1.6) == model.static_power(1.6)
+        assert model.idle_scale(0.3) == model.idle_scale(0.3)
+        assert 1.6 in model._dvfs_scale_memo
+        assert 1.6 in model._static_power_memo
+        assert 0.3 in model._idle_scale_memo
+
+    def test_memoization_does_not_change_window_power(self):
+        """A model with warm per-operating-point memos draws the identical
+        window to a cold one on the same RNG stream."""
+        cold = make_model("memo")
+        warm = make_model("memo")
+        for freq_ghz in (0.8, 1.2, 1.6):
+            warm.dvfs_scale(freq_ghz)
+            warm.static_power(freq_ghz)
+        for idle_frac in (0.0, 0.2, 0.5):
+            warm.idle_scale(idle_frac)
+        activity = np.full(200, 0.4)
+        a = cold.window_power(activity, 0.9, 1.2, 0.2, 0.5)
+        b = warm.window_power(activity, 0.9, 1.2, 0.2, 0.5)
+        assert np.array_equal(a, b)
+
+
 class TestRange:
     def test_min_below_max(self):
         model = make_model()
