@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .. import telemetry
 from ..defenses.designs import DefenseFactory
 from ..exec import SessionJob, run_sessions
 from ..machine import OutletMeter, PlatformSpec, RaplSensor, Trace, spawn
@@ -138,6 +139,13 @@ def simulate_runs(
         for workload_name in scenario.class_workloads
         for run in range(scenario.runs_per_class)
     ]
+    telemetry.ops(
+        "pipeline.collect",
+        scenario=scenario.name,
+        defense=scenario.defense,
+        classes=len(scenario.class_workloads),
+        runs_per_class=scenario.runs_per_class,
+    )
     traces = run_sessions(
         jobs, workers=workers, cache=cache, factory=factory, backend=backend
     )
@@ -199,6 +207,16 @@ def train_and_evaluate(
         train_idx, val_idx, test_idx = _split_runs(
             len(class_samples), scenario.train_frac, scenario.val_frac, rng
         )
+        # Per-fold span: how each label's runs were split (run-level, so a
+        # leaky segment-level split would be visible in the ops stream).
+        telemetry.ops(
+            "pipeline.fold",
+            scenario=scenario.name,
+            label=label,
+            train=int(train_idx.size),
+            val=int(val_idx.size),
+            test=int(test_idx.size),
+        )
         for bucket, indices in (("train", train_idx), ("val", val_idx), ("test", test_idx)):
             for run_index in indices:
                 segments = segment_trace(
@@ -218,6 +236,13 @@ def train_and_evaluate(
     x_test = featurizer.transform(data["test"][0])
     y_train, y_val, y_test = (data[b][1] for b in ("train", "val", "test"))
 
+    telemetry.ops(
+        "pipeline.train",
+        scenario=scenario.name,
+        n_train=int(y_train.size),
+        n_val=int(y_val.size),
+        n_features=int(x_train.shape[1]),
+    )
     mlp_config = replace(scenario.mlp, seed=scenario.mlp.seed + scenario.seed)
     classifier = MLPClassifier(
         x_train.shape[1], len(scenario.class_workloads), mlp_config
@@ -228,6 +253,13 @@ def train_and_evaluate(
         y_test, classifier.predict(x_test), len(scenario.class_workloads)
     )
     result = ConfusionResult(matrix, tuple(scenario.class_workloads))
+    telemetry.ops(
+        "pipeline.eval",
+        scenario=scenario.name,
+        n_test=int(y_test.size),
+        average_accuracy=float(result.average_accuracy),
+    )
+    telemetry.count("attacks.pipeline.evaluations")
     return AttackOutcome(
         scenario=scenario,
         result=result,

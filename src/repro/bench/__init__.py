@@ -25,6 +25,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from .. import telemetry as _telemetry
 from ..attacks.mlp import MLPConfig
 from ..attacks.pipeline import (
     AttackScenario,
@@ -35,11 +36,12 @@ from ..attacks.pipeline import (
 from ..defenses.designs import DefenseFactory
 from ..exec import TraceCache, resolve_workers
 from ..machine import SYS1
+from ..telemetry import MetricsRegistry
 
 __all__ = ["DEFAULT_OUT", "SCHEMA", "bench_scenario", "run_bench"]
 
 DEFAULT_OUT = "BENCH_pipeline.json"
-SCHEMA = "maya.bench.pipeline.v1"
+SCHEMA = "maya.bench.pipeline.v2"
 
 #: Minimum parallel-over-serial collection speedup ``--check`` demands on
 #: multi-core hosts.  The issue targets ~2x with 4 workers; 1.3x keeps the
@@ -110,42 +112,56 @@ def run_bench(
     # timed region so every timed stage sees a warm factory.
     factory.create(scenario.defense)
 
-    timings: dict[str, float] = {}
+    # Phase timings flow through a telemetry metrics registry — the
+    # ``timings`` block of BENCH_pipeline.json is a rendered view of these
+    # gauges, not a private dict (and they are mirrored into the ambient
+    # recorder when ``REPRO_TELEMETRY`` is on).
+    registry = MetricsRegistry()
 
-    start = time.perf_counter()
-    serial_runs = simulate_runs(scenario, factory, workers=1, cache=False, backend="serial")
-    timings["collect_serial_s"] = time.perf_counter() - start
+    def _timed(phase: str, fn):
+        start = time.perf_counter()
+        result = fn()
+        registry.gauge(f"bench.{phase}", time.perf_counter() - start)
+        return result
 
-    start = time.perf_counter()
-    parallel_runs = simulate_runs(
-        scenario, factory, workers=workers, cache=False, backend="process"
+    serial_runs = _timed(
+        "collect_serial_s",
+        lambda: simulate_runs(scenario, factory, workers=1, cache=False, backend="serial"),
     )
-    timings["collect_parallel_s"] = time.perf_counter() - start
+
+    parallel_runs = _timed(
+        "collect_parallel_s",
+        lambda: simulate_runs(
+            scenario, factory, workers=workers, cache=False, backend="process"
+        ),
+    )
     parallel_matches = _traces_equal(serial_runs, parallel_runs)
 
-    start = time.perf_counter()
-    batched_runs = simulate_runs(scenario, factory, cache=False, backend="batch")
-    timings["collect_batched_s"] = time.perf_counter() - start
+    batched_runs = _timed(
+        "collect_batched_s",
+        lambda: simulate_runs(scenario, factory, cache=False, backend="batch"),
+    )
     batched_matches = _traces_equal(serial_runs, batched_runs)
 
     with tempfile.TemporaryDirectory(prefix="maya-bench-cache-") as tmp:
         cache = TraceCache(root=tmp)
         simulate_runs(scenario, factory, workers=1, cache=cache, backend="serial")
-        start = time.perf_counter()
-        cached_runs = simulate_runs(
-            scenario, factory, workers=1, cache=cache, backend="serial"
+        cached_runs = _timed(
+            "collect_cached_s",
+            lambda: simulate_runs(
+                scenario, factory, workers=1, cache=cache, backend="serial"
+            ),
         )
-        timings["collect_cached_s"] = time.perf_counter() - start
         cache_hits = cache.hits
         cached_matches = _traces_equal(serial_runs, cached_runs)
 
-    start = time.perf_counter()
-    sampled = sample_runs(scenario, serial_runs)
-    timings["featurize_s"] = time.perf_counter() - start
+    sampled = _timed("featurize_s", lambda: sample_runs(scenario, serial_runs))
+    outcome = _timed("train_s", lambda: train_and_evaluate(scenario, sampled))
 
-    start = time.perf_counter()
-    outcome = train_and_evaluate(scenario, sampled)
-    timings["train_s"] = time.perf_counter() - start
+    timings = {
+        name.removeprefix("bench."): value
+        for name, value in registry.render()["gauges"].items()
+    }
 
     # The downstream pipeline is a deterministic function of the traces, so
     # batch-collected traces must yield the *identical* attack outcome.
@@ -168,6 +184,7 @@ def run_bench(
         "workers": int(workers),
         "cpu_count": cpu_count,
         "timings": timings,
+        "metrics": registry.render(),
         "parallel_speedup": speedup,
         "batched_speedup": batched_speedup,
         "cache_speedup": cache_speedup,
@@ -180,6 +197,12 @@ def run_bench(
     }
     out_path = Path(out_path)
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    # Mirror the phase gauges into the ambient recorder so a telemetry-on
+    # run's metrics.json includes them alongside the engine counters.
+    for name, value in registry.render()["gauges"].items():
+        _telemetry.gauge(name, value)
+    _telemetry.write_metrics()
 
     if not parallel_matches:
         raise AssertionError("parallel traces differ from serial traces")

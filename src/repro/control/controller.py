@@ -55,6 +55,14 @@ class MatrixController:
         self._z = 0.0
         #: Centered command applied during the interval being measured.
         self._u_applied = np.zeros(design.plant_ss.n_inputs)
+        # Plain-int diagnostic counters.  Telemetry reads these through
+        # Defense.diagnostics(); the controller itself never touches the
+        # telemetry package (the out-of-band invariant, MAYA032).
+        self.last_sat_hi = 0
+        self.last_sat_lo = 0
+        self.last_antiwindup = 0
+        self.saturation_steps = 0
+        self.antiwindup_steps = 0
 
     @property
     def interval_s(self) -> float:
@@ -69,6 +77,26 @@ class MatrixController:
         self._x_pred = np.zeros_like(self._x_pred)
         self._z = 0.0
         self._u_applied = np.zeros_like(self._u_applied)
+        self.last_sat_hi = 0
+        self.last_sat_lo = 0
+        self.last_antiwindup = 0
+        self.saturation_steps = 0
+        self.antiwindup_steps = 0
+
+    def diagnostics(self) -> dict:
+        """Last-step saturation/anti-windup state plus cumulative counts.
+
+        ``sat_hi``/``sat_lo`` count raw command components clipped at the
+        upper/lower rail by the last :meth:`step`; ``aw`` is 1 when that
+        step froze the integrator (conditional integration engaged).
+        """
+        return {
+            "sat_hi": self.last_sat_hi,
+            "sat_lo": self.last_sat_lo,
+            "aw": self.last_antiwindup,
+            "saturation_steps": self.saturation_steps,
+            "antiwindup_steps": self.antiwindup_steps,
+        }
 
     def step(self, target_w: float, measured_w: float) -> ActuatorSettings:
         """One control interval: deviation in, settings for the next out.
@@ -97,7 +125,8 @@ class MatrixController:
         # Conditional integration: freeze when all inputs are already
         # pinned at the limit that moves power in the demanded direction.
         u_prev_norm = self._u_applied + self._u_op
-        if not self._saturated_towards(error, u_prev_norm):
+        frozen = self._saturated_towards(error, u_prev_norm)
+        if not frozen:
             self._z += error
 
         # Command for the next interval.  Feedback acts in deviations; the
@@ -105,6 +134,12 @@ class MatrixController:
         # integrator absorbs the resulting constant offset.
         u_centered = -(design.k_x @ self._x_pred) - design.k_z[:, 0] * self._z
         u_norm = u_centered + self._u_center
+        self.last_sat_hi = int(np.count_nonzero(u_norm > 1.0))
+        self.last_sat_lo = int(np.count_nonzero(u_norm < 0.0))
+        self.last_antiwindup = int(frozen)
+        if self.last_sat_hi or self.last_sat_lo:
+            self.saturation_steps += 1
+        self.antiwindup_steps += self.last_antiwindup
         settings = self.bank.quantize_normalized(np.clip(u_norm, 0.0, 1.0))
         # The estimator's model coordinates stay centered on the
         # identification operating point.

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from .statespace import StateSpace
 
 __all__ = [
@@ -140,20 +141,22 @@ class FixedPointController:
         self._x = np.zeros(matrices.n_states, dtype=np.int64)
 
     def _check_saturation(self, matrices: StateSpace, on_clip: str) -> None:
-        if on_clip == "ignore":
-            return
-        clipped = [
-            name
+        # Per-matrix clipped-entry counts are recorded unconditionally so
+        # the static certifier (repro.lint.certify counts the same
+        # saturation masks) and the telemetry stream always agree.
+        self.clipped_by_matrix = {
+            name: int(np.count_nonzero(self.fmt.saturation_mask(matrix)))
             for name, matrix in (
                 ("A", matrices.a),
                 ("B", matrices.b),
                 ("C", matrices.c),
                 ("D", matrices.d),
             )
-            if self.fmt.saturates(matrix)
-        ]
-        if not clipped:
+        }
+        self.clipped_entries = sum(self.clipped_by_matrix.values())
+        if on_clip == "ignore" or not self.clipped_entries:
             return
+        clipped = [name for name, n in self.clipped_by_matrix.items() if n]
         detail = (
             f"matrix entries of {', '.join(clipped)} exceed the "
             f"{self.fmt.describe()} range (±{self.fmt.max_value:.6g}); "
@@ -162,6 +165,14 @@ class FixedPointController:
         if on_clip == "raise":
             raise FixedPointOverflowError(detail)
         warnings.warn(detail, RuntimeWarning, stacklevel=3)
+        telemetry.session_event(
+            "fixedpoint.clip",
+            fmt=self.fmt.describe(),
+            entries=self.clipped_entries,
+            matrices="".join(clipped),
+        )
+        telemetry.count("control.fixedpoint.clip_events")
+        telemetry.count("control.fixedpoint.clipped_entries", self.clipped_entries)
 
     @property
     def n_states(self) -> int:

@@ -39,6 +39,15 @@ class Defense(abc.ABC):
     def decide(self, measured_w: float) -> ActuatorSettings:
         """Settings for the next interval, given the last measurement."""
 
+    def diagnostics(self) -> "dict | None":
+        """Controller-internal state of the last :meth:`decide`, if any.
+
+        Telemetry polls this after each interval; open-loop designs return
+        None.  The dict contains plain ints only — the defense never sees
+        or stores telemetry objects (the out-of-band invariant, MAYA032).
+        """
+        return None
+
 
 def decide_batch(defenses, measured_w) -> list:
     """Decide one interval for a lock-step fleet of per-session defenses.

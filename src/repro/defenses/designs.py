@@ -127,6 +127,11 @@ class MayaDefense(Defense):
         self.current_target_w = self._instance.current_target_w
         return settings
 
+    def diagnostics(self) -> "dict | None":
+        if self._instance is None:
+            return None
+        return self._instance.controller.diagnostics()
+
     @staticmethod
     def decide_fleet(
         defenses: "list[MayaDefense]", measured_w: "list[float]"

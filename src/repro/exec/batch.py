@@ -41,6 +41,7 @@ import os
 
 import numpy as np
 
+from .. import telemetry
 from ..defenses.base import decide_batch
 from ..defenses.designs import DefenseFactory
 from ..machine import (
@@ -188,6 +189,32 @@ def execute_jobs_batched(
         machines.append(machine)
         defenses.append(defense)
 
+    # One telemetry channel per session, so the interleaved lock-step loop
+    # still yields one ordered event stream per session — byte-identical
+    # to the serial runner's (the channels serialize through the same
+    # code path with the same values).
+    recorder = telemetry.get_recorder()
+    channels = None
+    if recorder.enabled:
+        channels = [
+            recorder.session(
+                engine="lockstep",
+                job_key=job.key(),
+                platform=job.spec.name,
+                workload=machine.workload.name,
+                defense=defense.name,
+                seed=job.seed,
+                run_id=job.run_id,
+                interval_s=job.interval_s,
+                duration_s=job.duration_s,
+                tick_s=job.tick_s,
+                max_duration_s=job.max_duration_s,
+                tail_s=job.tail_s,
+                record_temperature=job.record_temperature,
+            )
+            for job, machine, defense in zip(jobs, machines, defenses)
+        ]
+
     template = jobs[0]
     traces = _run_lockstep(
         machines,
@@ -196,7 +223,11 @@ def execute_jobs_batched(
         interval_s=float(template.interval_s),
         duration_s=float(template.duration_s),
         max_duration_s=float(template.max_duration_s),
+        channels=channels,
     )
+    if channels is not None:
+        for channel in channels:
+            channel.close()
     return traces
 
 
@@ -207,6 +238,7 @@ def _run_lockstep(
     interval_s: float,
     duration_s: float,
     max_duration_s: float,
+    channels: "list | None" = None,
 ) -> "list[Trace]":
     """The lock-step twin of :func:`repro.core.runtime.run_session`."""
     n_sessions = len(machines)
@@ -240,7 +272,17 @@ def _run_lockstep(
             settings_log[row, interval_index, 1] = applied.idle_frac
             settings_log[row, interval_index, 2] = applied.balloon_level
 
+        applied_settings = settings
         settings = decide_batch(defenses, measurements_w)
+        if channels is not None:
+            for row, channel in enumerate(channels):
+                channel.interval(
+                    interval_index,
+                    target_w[row, interval_index],
+                    measured_w[row, interval_index],
+                    applied_settings[row],
+                    defenses[row],
+                )
 
     return [
         Trace(

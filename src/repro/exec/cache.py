@@ -13,11 +13,19 @@ Properties:
   ``os.replace``d into place, so readers never observe a torn file and
   concurrent writers of the same key are last-writer-wins with identical
   content;
-* **LRU size bounding** — after each write the directory is trimmed to
+* **LRU size bounding** — after each write the cache is trimmed to
   ``max_bytes`` (``REPRO_CACHE_MAX_MB``, default 512 MB), evicting the
-  least-recently-used entries (hits refresh an entry's mtime);
+  least-recently-used entries (hits refresh an entry's mtime).  The size
+  accounting is an in-memory running total maintained by
+  ``put``/``_evict``/``clear`` — the directory is globbed once per handle,
+  not on every call;
 * **corruption tolerance** — an unreadable entry is treated as a miss and
-  overwritten by the fresh simulation.
+  overwritten by the fresh simulation;
+* **telemetry sidecars** — when recording is enabled
+  (:mod:`repro.telemetry`), each entry carries a ``.events.jsonl`` sidecar
+  holding the session's telemetry stream, replayed byte-for-byte on a
+  hit so cached and fresh runs are observationally identical.  Hit, miss
+  and eviction counts also flow into the ambient metrics registry.
 
 Environment:
 
@@ -32,6 +40,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from .. import telemetry
 from ..machine import Trace
 
 __all__ = ["TraceCache", "default_cache", "DEFAULT_CACHE_DIR"]
@@ -55,11 +64,20 @@ class TraceCache:
         #: Runtime counters for this cache handle (not persisted).
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Running size accounting, lazily seeded from one directory scan
+        # and then maintained incrementally (see module docstring).
+        self._total_bytes: int | None = None
+        self._entry_count: int | None = None
 
     # -- lookup --------------------------------------------------------
 
     def _path(self, job) -> Path:
         return self.root / f"{job.key()}.npz"
+
+    def _sidecar(self, path: Path) -> Path:
+        """The telemetry sidecar of a cache entry (``<key>.events.jsonl``)."""
+        return path.with_name(path.stem + ".events.jsonl")
 
     def get(self, job) -> Trace | None:
         """The cached trace for ``job``, or None (counted as a miss)."""
@@ -68,27 +86,50 @@ class TraceCache:
             trace = Trace.load_npz(path)
         except (OSError, ValueError, KeyError):
             self.misses += 1
+            telemetry.count("exec.cache.misses")
             return None
         try:
             os.utime(path)  # LRU refresh
         except OSError:
             pass
         self.hits += 1
+        telemetry.count("exec.cache.hits")
+        telemetry.restore_session_events(self._sidecar(path), job)
         return trace
 
     def put(self, job, trace: Trace) -> None:
         """Store ``trace`` under the job's content address (atomically)."""
         self.root.mkdir(parents=True, exist_ok=True)
+        self._ensure_accounted()
         path = self._path(job)
+        old_bytes = self._entry_bytes(path)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             trace.save_npz(tmp)
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        new_bytes = self._entry_bytes(path)
+        self._total_bytes += (new_bytes or 0) - (old_bytes or 0)
+        if old_bytes is None and new_bytes is not None:
+            self._entry_count += 1
+        telemetry.store_session_events(self._sidecar(path), job)
         self._evict()
 
     # -- maintenance ---------------------------------------------------
+
+    @staticmethod
+    def _entry_bytes(path: Path) -> int | None:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return None
+
+    def _ensure_accounted(self) -> None:
+        if self._total_bytes is None:
+            entries = self.entries()
+            self._total_bytes = sum(size for _, size in entries)
+            self._entry_count = len(entries)
 
     def entries(self) -> list:
         """Cache files, sorted least-recently-used first."""
@@ -104,8 +145,14 @@ class TraceCache:
         return [(path, size) for _, _, size, path in sorted(stamped)]
 
     def _evict(self) -> None:
+        self._ensure_accounted()
+        if self._total_bytes <= self.max_bytes:
+            # Fast path: the running total proves no eviction is needed,
+            # so the directory is not re-scanned on every put.
+            return
         entries = self.entries()
         total = sum(size for _, size in entries)
+        count = len(entries)
         # Oldest first; the most recent entry is always kept so a single
         # oversized trace cannot wipe the cache it just entered.
         for path, size in entries[:-1]:
@@ -115,17 +162,24 @@ class TraceCache:
                 path.unlink()
             except OSError:
                 continue
+            self._sidecar(path).unlink(missing_ok=True)
             total -= size
+            count -= 1
+            self.evictions += 1
+            telemetry.count("exec.cache.evictions")
+        self._total_bytes = total
+        self._entry_count = count
 
     def stats(self) -> dict:
-        entries = self.entries()
+        self._ensure_accounted()
         return {
             "dir": str(self.root),
-            "entries": len(entries),
-            "total_bytes": int(sum(size for _, size in entries)),
+            "entries": self._entry_count,
+            "total_bytes": int(self._total_bytes),
             "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
     def clear(self) -> int:
@@ -137,7 +191,11 @@ class TraceCache:
                     path.unlink()
                 except OSError:
                     continue
+                if path.suffix == ".npz":
+                    self._sidecar(path).unlink(missing_ok=True)
                 removed += 1
+        self._total_bytes = 0
+        self._entry_count = 0
         return removed
 
 

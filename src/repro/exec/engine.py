@@ -33,6 +33,7 @@ import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
+from .. import telemetry
 from ..defenses.designs import DefenseFactory
 from ..machine import Trace
 from .batch import batch_key, execute_jobs_batched, resolve_batch_size
@@ -138,6 +139,13 @@ def run_sessions(
     elif cache is False:
         cache = None
 
+    telemetry.ops(
+        "run.begin",
+        jobs=len(jobs),
+        backend=backend,
+        workers=workers,
+        cached=cache is not None,
+    )
     results: list = [None] * len(jobs)
     pending: list = []
     for index, job in enumerate(jobs):
@@ -146,22 +154,32 @@ def run_sessions(
             pending.append(index)
         else:
             results[index] = trace
+            telemetry.ops("job.cached", index=index)
 
-    if not pending:
-        return results
-    if backend == "batch":
-        _execute_batched(jobs, pending, results, factory, cache, batch_size)
-        return results
-    if backend == "serial" or workers <= 1 or len(pending) == 1:
-        for index in pending:
-            results[index] = jobs[index].execute(factory=factory)
-            if cache is not None:
-                cache.put(jobs[index], results[index])
-        return results
-
-    _execute_parallel(
-        jobs, pending, results, workers, factory, cache, _job_timeout_s(timeout_s)
+    telemetry.count("exec.jobs.total", len(jobs))
+    telemetry.count("exec.jobs.executed", len(pending))
+    if pending:
+        if backend == "batch":
+            _execute_batched(jobs, pending, results, factory, cache, batch_size)
+        elif backend == "serial" or workers <= 1 or len(pending) == 1:
+            for index in pending:
+                telemetry.ops("job.begin", index=index)
+                results[index] = jobs[index].execute(factory=factory)
+                if cache is not None:
+                    cache.put(jobs[index], results[index])
+                telemetry.ops("job.end", index=index)
+        else:
+            _execute_parallel(
+                jobs, pending, results, workers, factory, cache,
+                _job_timeout_s(timeout_s),
+            )
+    telemetry.ops(
+        "run.end",
+        jobs=len(jobs),
+        executed=len(pending),
+        hits=len(jobs) - len(pending),
     )
+    telemetry.write_metrics()
     return results
 
 
@@ -174,13 +192,17 @@ def _execute_parallel(jobs, pending, results, workers, factory, cache, timeout_s
         max_workers=min(workers, len(pending)), mp_context=_mp_context()
     )
     try:
-        futures = [(index, executor.submit(execute_job, jobs[index])) for index in pending]
+        futures = []
+        for index in pending:
+            telemetry.ops("job.submit", index=index)
+            futures.append((index, executor.submit(execute_job, jobs[index])))
         # Collate strictly in submission (= job) order, never in completion
         # order: the output must not depend on worker scheduling (MAYA030).
         for index, future in futures:
             results[index] = _result_or_retry(future, jobs[index], factory, timeout_s)
             if cache is not None:
                 cache.put(jobs[index], results[index])
+            telemetry.ops("job.done", index=index)
     finally:
         # Wait for worker teardown: on the happy path every future is done
         # and the join is instant; on an error path cancel_futures stops
@@ -211,6 +233,10 @@ def _execute_batched(jobs, pending, results, factory, cache, batch_size):
     for indices in groups.values():
         for start in range(0, len(indices), batch_size):
             chunk = indices[start:start + batch_size]
+            telemetry.ops("batch.group", size=len(chunk), indices=list(chunk))
+            telemetry.observe(
+                "exec.batch.group_size", len(chunk), telemetry.GROUP_SIZE_HIST_EDGES
+            )
             traces = execute_jobs_batched(
                 [jobs[index] for index in chunk], factory=factory
             )
@@ -219,9 +245,11 @@ def _execute_batched(jobs, pending, results, factory, cache, batch_size):
                 if cache is not None:
                     cache.put(jobs[index], trace)
     for index in ungroupable:
+        telemetry.ops("job.begin", index=index, fallback="serial")
         results[index] = jobs[index].execute(factory=factory)
         if cache is not None:
             cache.put(jobs[index], results[index])
+        telemetry.ops("job.end", index=index)
 
 
 def _result_or_retry(future, job: SessionJob, factory, timeout_s: float) -> Trace:
@@ -233,6 +261,8 @@ def _result_or_retry(future, job: SessionJob, factory, timeout_s: float) -> Trac
     """
     try:
         return future.result(timeout=timeout_s)
-    except (BrokenExecutor, FutureTimeoutError, OSError):
+    except (BrokenExecutor, FutureTimeoutError, OSError) as failure:
         future.cancel()
+        telemetry.ops("job.retry", reason=type(failure).__name__)
+        telemetry.count("exec.jobs.retried")
         return job.execute(factory=factory)

@@ -537,3 +537,98 @@ class UnsortedEnumerationRule(Rule):
                     f"{resolved}() enumerates the filesystem in arbitrary "
                     "order; wrap the call in sorted()",
                 )
+
+
+# --------------------------------------------------------------------------
+# MAYA032 — telemetry must stay out-of-band in simulation code
+# --------------------------------------------------------------------------
+
+
+@register
+class TelemetryIsolationRule(Rule):
+    """Simulation code may only *call* telemetry, never read it back.
+
+    ``repro.telemetry`` is strictly out-of-band: the simulation is a pure
+    function of (platform, workload, seed), and a trace must be
+    bit-identical whether recording is on or off.  Inside the simulation
+    packages (``machine``, ``control``, ``defenses``, ``masks``,
+    ``core``), a name imported from ``repro.telemetry`` may therefore
+    appear only as the root of a fire-and-forget call *statement* — never
+    assigned, returned, passed as an argument, compared, or otherwise
+    allowed to flow into machine/controller state.  The engine layer
+    (``repro/exec/``) owns recorder objects and is exempt.
+    """
+
+    rule_id = "MAYA032"
+    severity = "error"
+    summary = "telemetry symbol flows into simulation state"
+
+    scoped_path_fragments = (
+        "repro/machine/",
+        "repro/control/",
+        "repro/defenses/",
+        "repro/masks/",
+        "repro/core/",
+    )
+
+    @staticmethod
+    def _telemetry_bindings(tree: ast.Module) -> Dict[str, ast.AST]:
+        """Local names bound to ``repro.telemetry`` or symbols inside it."""
+        bound: Dict[str, ast.AST] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.telemetry" or alias.name.endswith(
+                        ".telemetry"
+                    ):
+                        local = alias.asname or alias.name.split(".", 1)[0]
+                        bound[local] = node
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "telemetry" or module.endswith(".telemetry"):
+                    for alias in node.names:
+                        bound[alias.asname or alias.name] = node
+                else:
+                    for alias in node.names:
+                        if alias.name == "telemetry":
+                            bound[alias.asname or alias.name] = node
+        return bound
+
+    @staticmethod
+    def _call_root(node: ast.AST) -> "ast.Name | None":
+        """The Name at the base of a (possibly dotted) call target."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        while isinstance(func, ast.Attribute):
+            func = func.value
+        return func if isinstance(func, ast.Name) else None
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[RawFinding]:
+        if not any(fragment in ctx.path for fragment in self.scoped_path_fragments):
+            return
+        bound = self._telemetry_bindings(tree)
+        if not bound:
+            return
+        # Sanctioned usages: the root Name of a call that is itself a bare
+        # expression statement — the fire-and-forget emission pattern.
+        sanctioned = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Expr):
+                root = self._call_root(node.value)
+                if root is not None:
+                    sanctioned.add(id(root))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Name)
+                and node.id in bound
+                and id(node) not in sanctioned
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"telemetry symbol {node.id!r} used outside a "
+                    "fire-and-forget call statement; simulation state must "
+                    "never hold or read back telemetry (out-of-band "
+                    "invariant)",
+                )

@@ -91,6 +91,75 @@ class TestMaintenance:
         assert cache is not None and cache.root == tmp_path
 
 
+class TestAccounting:
+    def test_running_totals_match_directory_scan(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        for i in range(3):
+            job = tiny_job(run=i)
+            cache.put(job, job.execute())
+        cache.put(tiny_job(run=1), tiny_job(run=1).execute())  # overwrite
+        stats = cache.stats()
+        truth = {path: size for path, size in cache.entries()}
+        assert stats["entries"] == len(truth) == 3
+        assert stats["total_bytes"] == sum(truth.values())
+
+    def test_totals_seed_from_preexisting_directory(self, tmp_path):
+        first = TraceCache(root=tmp_path)
+        job = tiny_job()
+        first.put(job, job.execute())
+        # A fresh handle on the same directory must account for entries it
+        # never wrote.
+        second = TraceCache(root=tmp_path)
+        stats = second.stats()
+        assert stats["entries"] == 1 and stats["total_bytes"] > 0
+
+    def test_evictions_are_counted(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(3)]
+        for job in jobs:
+            cache.put(job, job.execute())
+        entry_size = cache._path(jobs[0]).stat().st_size
+        cache.max_bytes = int(entry_size * 1.5)
+        cache.put(jobs[0], jobs[0].execute())
+        assert cache.evictions >= 1
+        assert cache.stats()["evictions"] == cache.evictions
+        assert cache.stats()["entries"] == len(cache.entries())
+
+    def test_cache_counters_flow_into_metrics(self, tmp_path):
+        from repro import telemetry
+        from repro.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder(root=tmp_path / "telemetry")
+        telemetry.set_recorder(recorder)
+        try:
+            cache = TraceCache(root=tmp_path / "cache")
+            job = tiny_job()
+            assert cache.get(job) is None  # miss
+            cache.put(job, job.execute())
+            assert cache.get(job) is not None  # hit
+            counters = recorder.metrics.render()["counters"]
+            assert counters["exec.cache.misses"] == 1
+            assert counters["exec.cache.hits"] == 1
+        finally:
+            telemetry.set_recorder(None)
+
+    def test_clear_removes_telemetry_sidecars(self, tmp_path):
+        from repro import telemetry
+        from repro.telemetry import TelemetryRecorder
+
+        telemetry.set_recorder(TelemetryRecorder(root=tmp_path / "telemetry"))
+        try:
+            cache = TraceCache(root=tmp_path / "cache")
+            job = tiny_job()
+            job_trace = job.execute()
+            cache.put(job, job_trace)
+            assert list((tmp_path / "cache").glob("*.events.jsonl"))
+            cache.clear()
+            assert not list((tmp_path / "cache").glob("*.events.jsonl"))
+        finally:
+            telemetry.set_recorder(None)
+
+
 class TestCli:
     def test_stats_command(self, tmp_path, capsys):
         cache = TraceCache(root=tmp_path)

@@ -25,6 +25,7 @@ class TestRegistry:
             "MAYA006",
             "MAYA030",
             "MAYA031",
+            "MAYA032",
         )
 
 
@@ -376,6 +377,105 @@ class TestUnsortedEnumeration:
             return list(root.glob("*.npz"))  # maya: ignore[MAYA031]
         """
         assert rule_ids(src, path=self.EXEC_PATH) == []
+
+
+class TestTelemetryIsolation:
+    SIM_PATH = "src/repro/control/example.py"
+
+    def test_fire_and_forget_call_statement_is_clean(self):
+        src = """\
+        from .. import telemetry
+        __all__ = []
+        def step(error):
+            telemetry.count("control.steps")
+            telemetry.session_event("clip", entries=3)
+        """
+        assert rule_ids(src, path=self.SIM_PATH) == []
+
+    def test_assignment_from_telemetry_is_flagged(self):
+        src = """\
+        from .. import telemetry
+        __all__ = []
+        def step(error):
+            rec = telemetry.get_recorder()
+            return rec
+        """
+        assert rule_ids(src, path=self.SIM_PATH) == ["MAYA032"]
+
+    def test_telemetry_symbol_as_argument_is_flagged(self):
+        src = """\
+        from repro.telemetry import count
+        __all__ = []
+        def step(hook):
+            hook(count)
+        """
+        assert rule_ids(src, path=self.SIM_PATH) == ["MAYA032"]
+
+    def test_storing_telemetry_on_self_is_flagged(self):
+        src = """\
+        from repro import telemetry
+        __all__ = []
+        class Controller:
+            def __init__(self):
+                self.sink = telemetry
+        """
+        assert rule_ids(src, path=self.SIM_PATH) == ["MAYA032"]
+
+    def test_return_value_use_is_flagged(self):
+        src = """\
+        from .. import telemetry
+        __all__ = []
+        def step(error):
+            if telemetry.enabled():
+                return 1
+            return 0
+        """
+        assert rule_ids(src, path=self.SIM_PATH) == ["MAYA032"]
+
+    def test_directly_imported_symbol_call_statement_is_clean(self):
+        src = """\
+        from repro.telemetry import session_event
+        __all__ = []
+        def clip():
+            session_event("fixedpoint.clip", entries=1)
+        """
+        assert rule_ids(src, path=self.SIM_PATH) == []
+
+    def test_exec_layer_is_exempt(self):
+        src = """\
+        from .. import telemetry
+        __all__ = []
+        def run(jobs):
+            rec = telemetry.get_recorder()
+            return rec.enabled
+        """
+        assert rule_ids(src, path="src/repro/exec/engine.py") == []
+
+    def test_unrelated_telemetry_name_is_clean(self):
+        src = """\
+        __all__ = []
+        def f(telemetry):
+            return telemetry + 1
+        """
+        assert rule_ids(src, path=self.SIM_PATH) == []
+
+    def test_applies_across_all_sim_packages(self):
+        src = """\
+        from .. import telemetry
+        __all__ = []
+        x = telemetry
+        """
+        for package in ("machine", "control", "defenses", "masks", "core"):
+            path = f"src/repro/{package}/example.py"
+            assert rule_ids(src, path=path) == ["MAYA032"], package
+
+    def test_suppressible_with_targeted_ignore(self):
+        src = """\
+        from .. import telemetry
+        __all__ = []
+        flag = telemetry.enabled()  # maya: ignore[MAYA032]
+        """
+        assert rule_ids(src, path=self.SIM_PATH) == []
 
 
 class TestSyntaxErrors:
