@@ -79,6 +79,7 @@ class MayaInstance:
         self.current_target_w = self.mask.next_target()
         return self.controller.step(self.current_target_w, measured_w)
 
+    # maya: batch-twin(MayaInstance.decide)
     @staticmethod
     def decide_fleet(
         instances: "list[MayaInstance]", measured_w: "list[float]"

@@ -132,6 +132,7 @@ class MayaDefense(Defense):
             return None
         return self._instance.controller.diagnostics()
 
+    # maya: batch-twin(MayaDefense.decide)
     @staticmethod
     def decide_fleet(
         defenses: "list[MayaDefense]", measured_w: "list[float]"

@@ -10,9 +10,11 @@ Two halves, both motivated by the paper's formal-guarantee story:
   default arguments, missing ``__all__``, bare ``except``).
 * :mod:`repro.lint.dataflow` — interprocedural dataflow analyses over the
   same parse: physical-unit checking from the repo's naming conventions
-  (MAYA010-MAYA013) and secret-taint certification of the mask/control
-  packages (MAYA020-MAYA022), the latter emitting a JSON leakage
-  certificate.
+  (MAYA010-MAYA013), secret-taint certification of the mask/control
+  packages (MAYA020-MAYA022, with a JSON leakage certificate), and
+  reassociation-safety analysis of the simulation hot paths
+  (MAYA040-MAYA043, with per-module numeric certificates consumed by the
+  planned ``precision="fast"`` tier).
 * :mod:`repro.lint.certify` — a model-level verifier that statically
   certifies a synthesized Equation-1 :class:`~repro.control.statespace.StateSpace`
   against a :class:`~repro.control.fixedpoint.FixedPointFormat` without
@@ -34,12 +36,14 @@ from .certify import (
 from .dataflow import (
     DataflowContext,
     Unit,
+    analyze_numeric,
     analyze_taint,
     analyze_units,
     leakage_certificate,
     unit_of_name,
 )
 from .engine import Diagnostic, LintEngine, LintReport, format_github, lint_paths
+from .numeric import check_certificates, write_certificates
 from .rules import Rule, all_rule_ids, default_rules
 
 __all__ = [
@@ -50,6 +54,7 @@ __all__ = [
     "certify_design",
     "DataflowContext",
     "Unit",
+    "analyze_numeric",
     "analyze_taint",
     "analyze_units",
     "leakage_certificate",
@@ -59,6 +64,8 @@ __all__ = [
     "LintReport",
     "format_github",
     "lint_paths",
+    "check_certificates",
+    "write_certificates",
     "Rule",
     "all_rule_ids",
     "default_rules",

@@ -6,10 +6,14 @@ With no paths, lints the installed ``repro`` package tree.  Exit codes:
 * ``1`` — findings were reported, or a certificate failed;
 * ``2`` — usage error or a file that does not parse (MAYA000).
 
-``--analyze units`` / ``--analyze taint`` enable the whole-project
-dataflow analyses (repeatable); ``--analyze taint`` additionally emits the
-JSON leakage certificate.  ``--baseline FILE`` filters out previously
-recorded findings; ``--write-baseline FILE`` records the current ones.
+``--analyze units`` / ``--analyze taint`` / ``--analyze numeric`` enable
+the whole-project dataflow analyses (repeatable); ``--analyze taint``
+additionally emits the JSON leakage certificate and ``--analyze numeric``
+the per-module reassociation-safety certificates (``--write-certs`` /
+``--check-certs`` manage the committed ``certs/numeric/`` set).
+``--baseline FILE`` filters out previously recorded findings;
+``--write-baseline FILE`` records the current ones.  ``--stats`` appends
+per-rule finding/suppression counts.
 
 ``--certify PLATFORM`` switches to the model-level verifier: it runs
 system identification and controller synthesis for the platform (sys1,
@@ -56,11 +60,28 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--analyze",
         action="append",
-        choices=("units", "taint"),
+        choices=("units", "taint", "numeric"),
         default=None,
         metavar="ANALYSIS",
-        help="enable a whole-project dataflow analysis (units, taint); "
-        "repeatable",
+        help="enable a whole-project dataflow analysis (units, taint, "
+        "numeric); repeatable",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding/suppression counts after the report",
+    )
+    parser.add_argument(
+        "--write-certs",
+        metavar="DIR",
+        help="write the numeric-analysis certificates to DIR "
+        "(implies --analyze numeric)",
+    )
+    parser.add_argument(
+        "--check-certs",
+        metavar="DIR",
+        help="fail when the numeric-analysis certificates drift from the "
+        "committed set in DIR (implies --analyze numeric)",
     )
     parser.add_argument(
         "--baseline",
@@ -151,14 +172,36 @@ def _write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> None:
     Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
+def _print_stats(diagnostics, suppressed) -> None:
+    """Per-rule finding/suppression counts (the CI log health summary)."""
+    counts: dict = {}
+    for diag in diagnostics:
+        entry = counts.setdefault(diag.rule_id, [0, 0])
+        entry[0] += 1
+    for diag in suppressed:
+        entry = counts.setdefault(diag.rule_id, [0, 0])
+        entry[1] += 1
+    print("rule      findings  suppressed")
+    for rule_id in sorted(counts):
+        found, muted = counts[rule_id]
+        print(f"{rule_id:<10}{found:>8}{muted:>12}")
+    total_found = sum(entry[0] for entry in counts.values())
+    total_muted = sum(entry[1] for entry in counts.values())
+    print(f"{'total':<10}{total_found:>8}{total_muted:>12}")
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     analyses = tuple(dict.fromkeys(args.analyze or ()))
+    if (args.write_certs or args.check_certs) and "numeric" not in analyses:
+        analyses = analyses + ("numeric",)
 
     if args.list_rules:
         from .dataflow import dataflow_rules
 
-        rules: List = list(default_rules()) + list(dataflow_rules(("units", "taint")))
+        rules: List = list(default_rules()) + list(
+            dataflow_rules(("units", "taint", "numeric"))
+        )
         for rule in rules:
             print(f"{rule.rule_id} [{rule.severity}] {rule.summary}")
         return 0
@@ -189,24 +232,55 @@ def main(argv=None) -> int:
             diag for diag in diagnostics if _fingerprint(diag) not in known
         ]
 
+    cert_problems: List[str] = []
+    if args.write_certs:
+        from .numeric import write_certificates
+
+        written = write_certificates(report.numeric_certificates or {}, args.write_certs)
+        print(
+            f"wrote {len(written)} numeric certificate(s) to {args.write_certs}",
+            file=sys.stderr,
+        )
+    if args.check_certs:
+        from .numeric import check_certificates
+
+        cert_problems = check_certificates(
+            report.numeric_certificates or {}, args.check_certs
+        )
+
     if args.format == "json":
-        print(format_json(diagnostics, certificate=report.certificate))
+        print(
+            format_json(
+                diagnostics,
+                certificate=report.certificate,
+                numeric_certificates=report.numeric_certificates,
+            )
+        )
     elif args.format == "github":
         output = format_github(diagnostics)
         if output:
             print(output)
         if report.certificate is not None and not report.certificate["ok"]:
             print("::error title=leakage-certificate::taint certificate failed")
+        for problem in cert_problems:
+            print(f"::error title=numeric-certificate::{problem}")
     else:
         print(format_text(diagnostics))
         if report.certificate is not None:
             print(json.dumps(report.certificate, indent=2, sort_keys=True))
+        for problem in cert_problems:
+            print(f"numeric-certificate: {problem}")
+
+    if args.stats:
+        _print_stats(diagnostics, report.suppressed)
 
     if report.has_syntax_error:
         return 2
     if diagnostics:
         return 1
     if report.certificate is not None and not report.certificate["ok"]:
+        return 1
+    if cert_problems:
         return 1
     return 0
 

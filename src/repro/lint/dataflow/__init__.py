@@ -9,11 +9,22 @@ per-function summaries.  Two analysis families ride on it:
   repo's naming conventions (MAYA010-MAYA013);
 * :mod:`~repro.lint.dataflow.taint` — secret-taint certification of the
   mask/control packages (MAYA020-MAYA022) plus the JSON leakage
-  certificate.
+  certificate;
+* :mod:`~repro.lint.dataflow.numeric` — reassociation-safety analysis of
+  the simulation hot paths (MAYA040-MAYA043) plus the per-module
+  ``maya.lint.numeric-certificate.v1``.
 """
 
 from .interp import AV, Evaluator, Finding, Reporter
 from .model import ModuleCtx, ProjectModel, name_tokens
+from .numeric import (
+    CERT_SCHEMA,
+    NUMERIC_RULES,
+    NumericEvaluator,
+    NumVal,
+    analyze_numeric,
+    numeric_certificates,
+)
 from .rules import ANALYSES, DataflowContext, DataflowRule, all_dataflow_rule_ids, dataflow_rules
 from .taint import (
     DECLASSIFIER_NAMES,
@@ -34,6 +45,12 @@ __all__ = [
     "ModuleCtx",
     "ProjectModel",
     "name_tokens",
+    "CERT_SCHEMA",
+    "NUMERIC_RULES",
+    "NumericEvaluator",
+    "NumVal",
+    "analyze_numeric",
+    "numeric_certificates",
     "ANALYSES",
     "DataflowContext",
     "DataflowRule",

@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..rules import LintContext, RawFinding, Rule
 from .interp import Finding
 from .model import ProjectModel
+from .numeric import NUMERIC_RULES, analyze_numeric
 from .taint import TAINT_RULES, analyze_taint
 from .units import UNIT_RULES, analyze_units
 
@@ -31,6 +32,7 @@ __all__ = [
 ANALYSES: Dict[str, Tuple[str, ...]] = {
     "units": tuple(sorted(UNIT_RULES)),
     "taint": tuple(sorted(TAINT_RULES)),
+    "numeric": tuple(sorted(NUMERIC_RULES)),
 }
 
 
@@ -42,9 +44,11 @@ class DataflowContext:
         findings: Sequence[Finding],
         certificate: Optional[dict] = None,
         analyses: Tuple[str, ...] = (),
+        numeric_certificates: Optional[Dict[str, dict]] = None,
     ) -> None:
         self.analyses = analyses
         self.certificate = certificate
+        self.numeric_certificates = numeric_certificates
         self._by_path_rule: Dict[Tuple[str, str], List[Finding]] = {}
         for finding in findings:
             key = (finding.path, finding.rule_id)
@@ -52,22 +56,36 @@ class DataflowContext:
 
     @classmethod
     def build(
-        cls, modules: Sequence[Tuple[str, ast.Module]], analyses: Sequence[str]
+        cls, modules: Sequence[tuple], analyses: Sequence[str]
     ) -> "DataflowContext":
-        """Run the selected analyses over already-parsed modules."""
-        selected = tuple(name for name in ("units", "taint") if name in analyses)
+        """Run the selected analyses over already-parsed modules.
+
+        ``modules`` entries are ``(path, tree)`` or ``(path, tree,
+        source_lines)``; source lines feed the numeric analysis' pragma
+        scanner and certificate excerpts.
+        """
+        selected = tuple(
+            name for name in ("units", "taint", "numeric") if name in analyses
+        )
         unknown = sorted(set(analyses) - set(ANALYSES))
         if unknown:
             raise ValueError(f"unknown analyses: {', '.join(unknown)}")
-        model = ProjectModel(modules)
+        sources = {
+            entry[0]: entry[2] for entry in modules if len(entry) > 2
+        }
+        model = ProjectModel([(entry[0], entry[1]) for entry in modules])
         findings: List[Finding] = []
         certificate = None
+        numeric_certs = None
         if "units" in selected:
             findings.extend(analyze_units(model))
         if "taint" in selected:
             taint_findings, certificate = analyze_taint(model)
             findings.extend(taint_findings)
-        return cls(sorted(findings), certificate, selected)
+        if "numeric" in selected:
+            numeric_findings, numeric_certs = analyze_numeric(model, sources)
+            findings.extend(numeric_findings)
+        return cls(sorted(findings), certificate, selected, numeric_certs)
 
     def findings_for(self, path: str, rule_id: str) -> List[Finding]:
         return self._by_path_rule.get((path, rule_id), [])
@@ -96,7 +114,11 @@ def _make_rule(rule_id: str, analysis: str, summary: str) -> type:
 
 _DATAFLOW_RULES: Tuple[type, ...] = tuple(
     _make_rule(rule_id, analysis, summary)
-    for analysis, table in (("units", UNIT_RULES), ("taint", TAINT_RULES))
+    for analysis, table in (
+        ("units", UNIT_RULES),
+        ("taint", TAINT_RULES),
+        ("numeric", NUMERIC_RULES),
+    )
     for rule_id, summary in sorted(table.items())
 )
 

@@ -546,6 +546,11 @@ class UnitsEvaluator(Evaluator):
     def call_external(self, node, dotted, receiver, arg_avs, env, ctx) -> AV:
         bare = dotted.rsplit(".", 1)[-1]
         first = arg_avs[0].payload if arg_avs else None
+        # Unit-preserving methods win over same-named free functions:
+        # ``powers.sum(axis=0)`` keeps the receiver's unit (the axis
+        # argument is dimensionless and must not leak into the result).
+        if receiver is not None and bare in _PASSTHROUGH_METHODS:
+            return AV(payload=receiver.payload)
         if dotted in _PASSTHROUGH_CALLS or bare in _PASSTHROUGH_CALLS:
             return AV(payload=first)
         if dotted in _LENIENT_JOIN_CALLS or bare in _LENIENT_JOIN_CALLS:

@@ -44,7 +44,7 @@ __all__ = [
     "format_github",
 ]
 
-_SUPPRESSION_RE = re.compile(r"#\s*maya:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+_SUPPRESSION_RE = re.compile(r"#\s*maya:\s*ignore(?:\s*\[([A-Za-z0-9_,\s]*)\])?")
 
 #: Rule id used for files that fail to parse.
 SYNTAX_ERROR_RULE = "MAYA000"
@@ -166,6 +166,10 @@ class LintReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     #: The taint analysis' leakage certificate, when it ran.
     certificate: Optional[dict] = None
+    #: Per-module reassociation-safety certificates (numeric analysis).
+    numeric_certificates: Optional[Dict[str, dict]] = None
+    #: Findings filtered out by ``# maya: ignore`` suppressions.
+    suppressed: List[Diagnostic] = field(default_factory=list)
 
     @property
     def has_syntax_error(self) -> bool:
@@ -223,27 +227,30 @@ class LintEngine:
 
     # -- running -------------------------------------------------------
 
-    def _check_file(self, parsed: _ParsedFile, rules, dataflow) -> List[Diagnostic]:
+    def _check_file(
+        self, parsed: _ParsedFile, rules, dataflow
+    ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
         ctx = LintContext(
             path=parsed.path, source_lines=parsed.source_lines, dataflow=dataflow
         )
         diagnostics: List[Diagnostic] = []
+        suppressed_diags: List[Diagnostic] = []
         for rule in rules:
             for line, col, message in rule.check(parsed.tree, ctx):
+                diagnostic = Diagnostic(
+                    path=parsed.path,
+                    line=line,
+                    col=col,
+                    rule_id=rule.rule_id,
+                    severity=rule.severity,
+                    message=message,
+                )
                 suppressed = parsed.suppressions.get(line, frozenset())
                 if suppressed is None or rule.rule_id in suppressed:
-                    continue
-                diagnostics.append(
-                    Diagnostic(
-                        path=parsed.path,
-                        line=line,
-                        col=col,
-                        rule_id=rule.rule_id,
-                        severity=rule.severity,
-                        message=message,
-                    )
-                )
-        return diagnostics
+                    suppressed_diags.append(diagnostic)
+                else:
+                    diagnostics.append(diagnostic)
+        return diagnostics, suppressed_diags
 
     def _run(self, parsed_files, syntax_errors) -> LintReport:
         rules = self.rules
@@ -252,16 +259,26 @@ class LintEngine:
             from .dataflow import DataflowContext, dataflow_rules
 
             dataflow = DataflowContext.build(
-                [(parsed.path, parsed.tree) for parsed in parsed_files],
+                [
+                    (parsed.path, parsed.tree, parsed.source_lines)
+                    for parsed in parsed_files
+                ],
                 self.analyses,
             )
             rules = rules + dataflow_rules(self.analyses)
         diagnostics = list(syntax_errors)
+        suppressed: List[Diagnostic] = []
         for parsed in parsed_files:
-            diagnostics.extend(self._check_file(parsed, rules, dataflow))
+            kept, muted = self._check_file(parsed, rules, dataflow)
+            diagnostics.extend(kept)
+            suppressed.extend(muted)
         return LintReport(
             diagnostics=sorted(diagnostics),
             certificate=dataflow.certificate if dataflow is not None else None,
+            numeric_certificates=(
+                dataflow.numeric_certificates if dataflow is not None else None
+            ),
+            suppressed=sorted(suppressed),
         )
 
     def run_source(self, source: str, path: str = "<string>") -> LintReport:
@@ -310,7 +327,9 @@ def format_text(diagnostics: Sequence[Diagnostic]) -> str:
 
 
 def format_json(
-    diagnostics: Sequence[Diagnostic], certificate: Optional[dict] = None
+    diagnostics: Sequence[Diagnostic],
+    certificate: Optional[dict] = None,
+    numeric_certificates: Optional[Dict[str, dict]] = None,
 ) -> str:
     payload = {
         "findings": [diag.as_dict() for diag in diagnostics],
@@ -318,6 +337,8 @@ def format_json(
     }
     if certificate is not None:
         payload["leakage_certificate"] = certificate
+    if numeric_certificates is not None:
+        payload["numeric_certificates"] = numeric_certificates
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

@@ -495,7 +495,8 @@ class UnsortedEnumerationRule(Rule):
     ``rglob``/``iterdir`` methods return entries in whatever order the
     filesystem happens to hold them — it differs between ext4, tmpfs and
     CI containers.  Inside ``src/repro/exec/`` that order feeds cache
-    eviction and the code-salt digest, so an unsorted enumeration makes
+    eviction and the code-salt digest, and inside ``src/repro/telemetry/``
+    it feeds run-manifest collation, so an unsorted enumeration makes
     behaviour host-dependent.  Wrap the call in ``sorted(...)`` (or
     suppress with ``# maya: ignore[MAYA031]`` where order provably cannot
     matter).
@@ -505,7 +506,7 @@ class UnsortedEnumerationRule(Rule):
     severity = "error"
     summary = "unsorted filesystem enumeration in the execution layer"
 
-    scoped_path_fragment = "repro/exec/"
+    scoped_path_fragments = ("repro/exec/", "repro/telemetry/")
 
     _module_functions = frozenset(
         {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
@@ -518,7 +519,7 @@ class UnsortedEnumerationRule(Rule):
         return resolved.endswith(self._method_suffixes)
 
     def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[RawFinding]:
-        if self.scoped_path_fragment not in ctx.path:
+        if not any(fragment in ctx.path for fragment in self.scoped_path_fragments):
             return
         sorted_wrapped = set()
         for node in ast.walk(tree):

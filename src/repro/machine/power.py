@@ -83,6 +83,7 @@ class PowerModel:
         self._static_power_memo: dict[float, float] = {}
         self._idle_scale_memo: dict[float, float] = {}
 
+    # maya: batch-safe
     def dvfs_scale(self, freq_ghz: float) -> float:
         """Relative dynamic-power scale ``f V(f)^2 / (f_max V_max^2)``."""
         scale = self._dvfs_scale_memo.get(freq_ghz)
@@ -92,6 +93,7 @@ class PowerModel:
             self._dvfs_scale_memo[freq_ghz] = scale
         return scale
 
+    # maya: batch-safe
     def static_power(self, freq_ghz: float) -> float:
         """Leakage/uncore power; scales mildly with supply voltage."""
         power_w = self._static_power_memo.get(freq_ghz)
@@ -111,6 +113,7 @@ class PowerModel:
     #: power by ~34%, not 48%.
     IDLE_POWER_EFFECTIVENESS = 0.7
 
+    # maya: batch-safe
     def app_power(
         self,
         activity: np.ndarray | float,
@@ -129,6 +132,7 @@ class PowerModel:
         scale = self.dvfs_scale(freq_ghz) * self.idle_scale(idle_frac)
         return self.spec.max_app_dynamic_w * np.asarray(activity) * core_fraction * scale
 
+    # maya: batch-safe
     def balloon_power(
         self, balloon_level: float, freq_ghz: float, idle_frac: float,
         app_core_fraction: np.ndarray | float = 0.0,
@@ -153,6 +157,7 @@ class PowerModel:
             return power_w
         return float(power_w)
 
+    # maya: batch-safe
     def idle_scale(self, idle_frac: float) -> float:
         """Dynamic-power multiplier of the idle-injection level."""
         scale = self._idle_scale_memo.get(idle_frac)
@@ -228,6 +233,7 @@ class PowerModel:
         return self.static_power(spec.freq_min_ghz)
 
 
+# maya: batch-twin(PowerModel.window_power)
 def batch_window_power(
     models: "list[PowerModel]",
     activity: np.ndarray,

@@ -56,7 +56,7 @@ class RaplSensor:
         if tick_powers.size == 0:
             raise ValueError("cannot measure an empty window")
         duration_s = tick_powers.size * tick_s
-        energy_j = float(tick_powers.sum()) * tick_s
+        energy_j = float(tick_powers.sum(axis=0)) * tick_s
         energy_j = np.round(energy_j / self.ENERGY_QUANTUM_J) * self.ENERGY_QUANTUM_J
         return energy_j / duration_s + float(self._rng.normal(0.0, self.noise_w))
 
@@ -94,6 +94,7 @@ class BatchedRaplSensor:
             raise ValueError("need at least one sensor")
         self.sensors = list(sensors)
 
+    # maya: batch-twin(RaplSensor.measure_window)
     def measure_windows(self, tick_powers: np.ndarray, tick_s: float) -> np.ndarray:
         """Per-session average power over one interval, as counters report it."""
         tick_powers = np.asarray(tick_powers, dtype=float)

@@ -72,17 +72,17 @@ def _window_spectra(signal: np.ndarray, scale: float) -> tuple[float, float, flo
     negligible = (0.02 * scale * _FFT_WINDOW / 4.0) ** 2
     for i in range(n_windows):
         window = signal[i * _FFT_WINDOW:(i + 1) * _FFT_WINDOW]
-        mags = np.abs(np.fft.rfft(window - window.mean()))[_SKIP_BINS:]
+        mags = np.abs(np.fft.rfft(window - window.mean(axis=0)))[_SKIP_BINS:]
         energy = mags**2
-        total = float(energy.sum())
+        total = float(energy.sum(axis=0))
         if total < negligible:
             continue  # flat window (e.g. inside a constant hold)
-        crests.append(float(energy.max() / energy.mean()))
+        crests.append(float(energy.max() / energy.mean(axis=0)))
         masked = energy.copy()
         for _ in range(3):
             j = int(np.argmax(masked))
             masked[max(0, j - 2):j + 3] = 0.0
-        spreads.append(float(masked.sum() / total))
+        spreads.append(float(masked.sum(axis=0) / total))
         argmaxes.append(float(np.argmax(energy)) / energy.size)
     if not crests:
         return 0.0, 0.0, 0.0

@@ -1,0 +1,20 @@
+"""Known-bad fixture: batched twin structurally diverged from its serial twin.
+
+The serial path accumulates ``errors`` with a declared axis and scales by
+``gain``; the "twin" adds an extra ``bias_w`` term the serial path never
+applies, so the two expression DAGs differ — MAYA043 must report the
+structural mismatch.
+"""
+
+import numpy as np
+
+
+def serial_effort(errors: np.ndarray, gain: float) -> float:
+    errors = np.asarray(errors, dtype=float)
+    return float(errors.sum(axis=0)) * gain
+
+
+# maya: batch-twin(serial_effort)
+def batched_effort(errors: np.ndarray, gain: float, bias_w: float) -> np.ndarray:
+    errors = np.asarray(errors, dtype=float)
+    return np.sum(errors, axis=1) * gain + bias_w

@@ -1,0 +1,14 @@
+"""Known-bad fixture: batch twin whose serial counterpart does not exist.
+
+The ``# maya: batch-twin(...)`` pragma names ``missing_serial_power``, which
+is defined nowhere in the project — MAYA043 must report the twin as
+unpaired rather than silently skipping the structural diff.
+"""
+
+import numpy as np
+
+
+# maya: batch-twin(missing_serial_power)
+def batched_orphan_power(activity: np.ndarray, gain: float) -> np.ndarray:
+    activity = np.asarray(activity, dtype=float)
+    return activity * gain

@@ -1,0 +1,17 @@
+"""Known-bad fixture: float64 -> float32 narrowing on a hot path.
+
+Casting the accumulated power trace down to ``float32`` silently destroys
+the bit-reproducibility contract between the serial and batched backends —
+the hazard MAYA042 exists to flag.
+"""
+
+import numpy as np
+
+
+def narrowed_window_power(power_w: np.ndarray) -> np.ndarray:
+    power_w = np.asarray(power_w, dtype=float)
+    return power_w.astype(np.float32)
+
+
+def narrowed_alloc(n_ticks: int) -> np.ndarray:
+    return np.zeros(n_ticks, dtype=np.float32)

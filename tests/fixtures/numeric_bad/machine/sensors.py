@@ -1,0 +1,16 @@
+"""Known-bad fixture: hidden reduction without a declared accumulation order.
+
+The ``tick_powers.sum()`` call has no ``axis`` argument, so nothing in the
+source records which order the elements are accumulated in — exactly the
+hazard MAYA041 exists to flag.
+"""
+
+import numpy as np
+
+
+class LeakySensor:
+    def measure_window(self, tick_powers: np.ndarray, tick_s: float) -> float:
+        tick_powers = np.asarray(tick_powers, dtype=float)
+        duration_s = tick_powers.size * tick_s
+        energy_j = float(tick_powers.sum()) * tick_s
+        return energy_j / duration_s

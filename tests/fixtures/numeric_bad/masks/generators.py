@@ -1,0 +1,15 @@
+"""Known-bad fixture: transcendental call inside a ``batch-safe`` function.
+
+``np.sin`` is correctly rounded to within a few ulp but not exactly
+reproducible across libm versions or vector widths, so a function that
+declares itself reassociation-safe must not call it — MAYA040 flags the
+violated pragma.
+"""
+
+import numpy as np
+
+
+# maya: batch-safe
+def sinusoid_mask(phase: np.ndarray, amplitude_w: float) -> np.ndarray:
+    phase = np.asarray(phase, dtype=float)
+    return amplitude_w * np.sin(phase)

@@ -118,6 +118,40 @@ class TestSuppressionExtent:
         assert [(d.rule_id, d.line) for d in diags] == [("MAYA003", 12)]
 
 
+class TestSuppressionWhitespace:
+    """``# maya: ignore [MAYA003]`` (space before the bracket) must parse as
+    a *targeted* suppression (regression: the rule list used to be dropped,
+    turning the comment into a blanket suppression)."""
+
+    SRC = (
+        "__all__ = ['f']\n"
+        "\n"
+        "\n"
+        "def f(a):\n"
+        "    import random{comment}\n"
+        "    return a == 1.0{comment}\n"
+    )
+
+    def test_space_before_bracket_is_targeted(self):
+        src = self.SRC.format(comment="  # maya: ignore [MAYA003]")
+        diags = LintEngine().run_source(src, "probe.py").diagnostics
+        # MAYA003 is silenced on its line; MAYA001 must still fire.
+        assert [d.rule_id for d in diags] == ["MAYA001"]
+
+    def test_spaces_inside_brackets_are_targeted(self):
+        src = self.SRC.format(comment="  # maya: ignore[ MAYA001 , MAYA003 ]")
+        assert LintEngine().run_source(src, "probe.py").diagnostics == []
+
+    def test_bare_ignore_still_blankets(self):
+        src = self.SRC.format(comment="  # maya: ignore")
+        assert LintEngine().run_source(src, "probe.py").diagnostics == []
+
+    def test_suppressed_findings_are_recorded(self):
+        src = self.SRC.format(comment="  # maya: ignore [MAYA003]")
+        report = LintEngine().run_source(src, "probe.py")
+        assert "MAYA003" in {d.rule_id for d in report.suppressed}
+
+
 class TestCli:
     def test_exit_zero_and_clean_message_on_src(self):
         proc = run_cli(str(PACKAGE_DIR))

@@ -378,6 +378,22 @@ class TestUnsortedEnumeration:
         """
         assert rule_ids(src, path=self.EXEC_PATH) == []
 
+    def test_also_applies_inside_telemetry_package(self):
+        src = """\
+        __all__ = []
+        def manifests(root):
+            return [path for path in root.glob("*.json")]
+        """
+        assert rule_ids(src, path="src/repro/telemetry/manifest.py") == ["MAYA031"]
+
+    def test_sorted_telemetry_enumeration_is_clean(self):
+        src = """\
+        __all__ = []
+        def manifests(root):
+            return sorted(root.glob("*.json"))
+        """
+        assert rule_ids(src, path="src/repro/telemetry/manifest.py") == []
+
 
 class TestTelemetryIsolation:
     SIM_PATH = "src/repro/control/example.py"
