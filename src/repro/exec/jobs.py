@@ -44,21 +44,77 @@ CACHE_EPOCH = 1
 _SIMULATION_PACKAGES = ("core", "machine", "defenses", "workloads", "control", "masks")
 
 
-@lru_cache(maxsize=1)
-def code_salt() -> str:
-    """Digest of the simulation sources (plus :data:`CACHE_EPOCH`)."""
-    import repro
+def _digest_simulation_sources(root: Path, packages: tuple, epoch: int) -> str:
+    """SHA-256 over the sources of ``packages`` under ``root``.
 
-    root = Path(repro.__file__).resolve().parent
+    A salt entry naming a missing or Python-free directory is a silent
+    cache-soundness hole (the digest would simply skip it, so edits to the
+    real package would never invalidate cached traces) — raise instead.
+    """
     digest = hashlib.sha256()
-    digest.update(f"epoch={CACHE_EPOCH}".encode())
-    for package in _SIMULATION_PACKAGES:
-        for path in sorted((root / package).rglob("*.py")):
+    digest.update(f"epoch={epoch}".encode())
+    for package in packages:
+        paths = sorted((root / package).rglob("*.py")) if (root / package).is_dir() else []
+        if not paths:
+            raise RuntimeError(
+                f"code_salt: salt entry '{package}' matches no Python "
+                f"sources under {root}; the cache key would silently stop "
+                f"covering that package"
+            )
+        for path in paths:
             digest.update(str(path.relative_to(root)).replace("\\", "/").encode())
             digest.update(b"\x1f")
             digest.update(path.read_bytes())
             digest.update(b"\x1e")
     return digest.hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Digest of the simulation sources (plus :data:`CACHE_EPOCH`).
+
+    Memoized for the life of the process: the digest walks every salted
+    source file, and ``key()`` is called per job.  The caveat is that a
+    source edit made *while a process is running* is not picked up — the
+    salt reflects the tree as it was at the first ``key()`` call.  That is
+    the intended trade: processes are short-lived relative to edits, and
+    any new process (CI, a rerun) re-digests from disk.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    return _digest_simulation_sources(root, _SIMULATION_PACKAGES, CACHE_EPOCH)
+
+
+def _assert_salt_certified() -> None:
+    """Pin ``_SIMULATION_PACKAGES`` to the committed purity certificate.
+
+    The MAYA051 analysis proves the salt covers the simulation closure and
+    commits the proven entry list in ``certs/purity/execute_job.json``;
+    asserting it at import time turns an uncertified salt edit into an
+    immediate, loud failure instead of a silently unsound cache.  Source
+    checkouts without the certificate (installed wheels, vendored copies)
+    skip the check — there the lint gate itself is absent too.
+    """
+    cert_path = (
+        Path(__file__).resolve().parents[3] / "certs" / "purity" / "execute_job.json"
+    )
+    try:
+        certified = json.loads(cert_path.read_text(encoding="utf-8"))["salt"]["declared"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return
+    if not isinstance(certified, list):
+        return
+    if sorted(certified) != sorted(_SIMULATION_PACKAGES):
+        raise RuntimeError(
+            f"_SIMULATION_PACKAGES {sorted(_SIMULATION_PACKAGES)} disagrees "
+            f"with the committed purity certificate {sorted(certified)}; "
+            f"rerun 'repro-lint --analyze purity --write-certs certs' so the "
+            f"MAYA051 analysis re-certifies the salt"
+        )
+
+
+_assert_salt_certified()
 
 
 def _as_pairs(value: object) -> tuple:

@@ -14,7 +14,10 @@ Two halves, both motivated by the paper's formal-guarantee story:
   packages (MAYA020-MAYA022, with a JSON leakage certificate), and
   reassociation-safety analysis of the simulation hot paths
   (MAYA040-MAYA043, with per-module numeric certificates consumed by the
-  planned ``precision="fast"`` tier).
+  planned ``precision="fast"`` tier), and purity & cache-salt soundness
+  certification of the simulation closure (MAYA050-MAYA053, with
+  per-entry-point certificates that pin the trace cache's content
+  address).
 * :mod:`repro.lint.certify` — a model-level verifier that statically
   certifies a synthesized Equation-1 :class:`~repro.control.statespace.StateSpace`
   against a :class:`~repro.control.fixedpoint.FixedPointFormat` without
@@ -37,6 +40,7 @@ from .dataflow import (
     DataflowContext,
     Unit,
     analyze_numeric,
+    analyze_purity,
     analyze_taint,
     analyze_units,
     leakage_certificate,
@@ -44,6 +48,7 @@ from .dataflow import (
 )
 from .engine import Diagnostic, LintEngine, LintReport, format_github, lint_paths
 from .numeric import check_certificates, write_certificates
+from .purity import check_purity_certificates, write_purity_certificates
 from .rules import Rule, all_rule_ids, default_rules
 
 __all__ = [
@@ -55,6 +60,7 @@ __all__ = [
     "DataflowContext",
     "Unit",
     "analyze_numeric",
+    "analyze_purity",
     "analyze_taint",
     "analyze_units",
     "leakage_certificate",
@@ -66,6 +72,8 @@ __all__ = [
     "lint_paths",
     "check_certificates",
     "write_certificates",
+    "check_purity_certificates",
+    "write_purity_certificates",
     "Rule",
     "all_rule_ids",
     "default_rules",

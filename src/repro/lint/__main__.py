@@ -6,11 +6,17 @@ With no paths, lints the installed ``repro`` package tree.  Exit codes:
 * ``1`` — findings were reported, or a certificate failed;
 * ``2`` — usage error or a file that does not parse (MAYA000).
 
-``--analyze units`` / ``--analyze taint`` / ``--analyze numeric`` enable
-the whole-project dataflow analyses (repeatable); ``--analyze taint``
-additionally emits the JSON leakage certificate and ``--analyze numeric``
-the per-module reassociation-safety certificates (``--write-certs`` /
-``--check-certs`` manage the committed ``certs/numeric/`` set).
+``--analyze units`` / ``--analyze taint`` / ``--analyze numeric`` /
+``--analyze purity`` enable the whole-project dataflow analyses
+(repeatable); ``--analyze taint`` additionally emits the JSON leakage
+certificate, ``--analyze numeric`` the per-module reassociation-safety
+certificates, and ``--analyze purity`` the per-entry-point cache-soundness
+certificates (``--write-certs`` / ``--check-certs`` manage the committed
+``certs/`` sets: with one certificate analysis selected DIR is used
+flat, with several each analysis gets a ``DIR/<analysis>/`` subtree).
+As a convenience for the common CI one-liner, ``--check-certs`` with no
+positional paths accepts the *source tree* as its argument and locates
+the committed ``certs/`` root automatically.
 ``--baseline FILE`` filters out previously recorded findings;
 ``--write-baseline FILE`` records the current ones.  ``--stats`` appends
 per-rule finding/suppression counts.
@@ -60,11 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--analyze",
         action="append",
-        choices=("units", "taint", "numeric"),
+        choices=("units", "taint", "numeric", "purity"),
         default=None,
         metavar="ANALYSIS",
         help="enable a whole-project dataflow analysis (units, taint, "
-        "numeric); repeatable",
+        "numeric, purity); repeatable",
     )
     parser.add_argument(
         "--stats",
@@ -74,14 +80,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-certs",
         metavar="DIR",
-        help="write the numeric-analysis certificates to DIR "
-        "(implies --analyze numeric)",
+        help="write the analysis certificates (numeric and/or purity) to "
+        "DIR (implies --analyze numeric when no certificate analysis is "
+        "selected)",
     )
     parser.add_argument(
         "--check-certs",
         metavar="DIR",
-        help="fail when the numeric-analysis certificates drift from the "
-        "committed set in DIR (implies --analyze numeric)",
+        help="fail when the analysis certificates drift from the committed "
+        "set in DIR (implies --analyze numeric when no certificate "
+        "analysis is selected)",
     )
     parser.add_argument(
         "--baseline",
@@ -190,17 +198,76 @@ def _print_stats(diagnostics, suppressed) -> None:
     print(f"{'total':<10}{total_found:>8}{total_muted:>12}")
 
 
+#: Analyses that produce committed certificate sets, in directory order.
+_CERT_ANALYSES = ("numeric", "purity")
+
+
+def _reinterpret_check_certs(args) -> None:
+    """Allow ``--check-certs <source tree>`` with no positional paths.
+
+    The CI one-liner ``repro-lint --analyze purity --check-certs src/repro``
+    reads naturally but binds the source tree to the DIR argument.  When
+    there are no positional paths and DIR looks like a source tree (a
+    ``.py`` file, or a directory holding Python sources but no committed
+    certificates), treat it as the lint target and locate the committed
+    ``certs/`` root next to the current directory or the installed package.
+    """
+    if not args.check_certs or args.paths or args.write_certs:
+        return
+    target = Path(args.check_certs)
+    if not target.exists():
+        return
+    looks_like_source = (target.is_file() and target.suffix == ".py") or (
+        target.is_dir()
+        and not any(target.glob("*.json"))
+        and not any((target / sub).is_dir() for sub in _CERT_ANALYSES)
+        and any(target.rglob("*.py"))
+    )
+    if not looks_like_source:
+        return
+    args.paths = [str(target)]
+    for candidate in (
+        Path.cwd() / "certs",
+        Path(__file__).resolve().parents[3] / "certs",
+    ):
+        if candidate.is_dir():
+            args.check_certs = str(candidate)
+            return
+    args.check_certs = str(Path.cwd() / "certs")
+
+
+def _cert_dir(base, analysis: str, cert_analyses) -> Path:
+    """Concrete directory for one analysis' certificate set under DIR.
+
+    A lone certificate analysis keeps the flat layout (``DIR/*.json``,
+    the numeric-only contract); several share DIR via per-analysis
+    subtrees.  A DIR that already has (or *is*) the per-analysis
+    subdirectory always resolves to it.
+    """
+    base = Path(base)
+    if (base / analysis).is_dir():
+        return base / analysis
+    if base.name == analysis:
+        return base
+    if len(tuple(cert_analyses)) == 1:
+        return base
+    return base / analysis
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    _reinterpret_check_certs(args)
     analyses = tuple(dict.fromkeys(args.analyze or ()))
-    if (args.write_certs or args.check_certs) and "numeric" not in analyses:
+    cert_analyses = tuple(a for a in analyses if a in _CERT_ANALYSES)
+    if (args.write_certs or args.check_certs) and not cert_analyses:
         analyses = analyses + ("numeric",)
+        cert_analyses = ("numeric",)
 
     if args.list_rules:
         from .dataflow import dataflow_rules
 
         rules: List = list(default_rules()) + list(
-            dataflow_rules(("units", "taint", "numeric"))
+            dataflow_rules(("units", "taint", "numeric", "purity"))
         )
         for rule in rules:
             print(f"{rule.rule_id} [{rule.severity}] {rule.summary}")
@@ -232,21 +299,37 @@ def main(argv=None) -> int:
             diag for diag in diagnostics if _fingerprint(diag) not in known
         ]
 
-    cert_problems: List[str] = []
-    if args.write_certs:
-        from .numeric import write_certificates
+    cert_problems: List[tuple] = []
+    if args.write_certs or args.check_certs:
+        from .numeric import check_certificates, write_certificates
+        from .purity import check_purity_certificates, write_purity_certificates
 
-        written = write_certificates(report.numeric_certificates or {}, args.write_certs)
-        print(
-            f"wrote {len(written)} numeric certificate(s) to {args.write_certs}",
-            file=sys.stderr,
-        )
-    if args.check_certs:
-        from .numeric import check_certificates
-
-        cert_problems = check_certificates(
-            report.numeric_certificates or {}, args.check_certs
-        )
+        handlers = {
+            "numeric": (
+                report.numeric_certificates,
+                write_certificates,
+                check_certificates,
+            ),
+            "purity": (
+                report.purity_certificates,
+                write_purity_certificates,
+                check_purity_certificates,
+            ),
+        }
+        for analysis in cert_analyses:
+            certs, write, check = handlers[analysis]
+            if args.write_certs:
+                directory = _cert_dir(args.write_certs, analysis, cert_analyses)
+                written = write(certs or {}, directory)
+                print(
+                    f"wrote {len(written)} {analysis} certificate(s) to {directory}",
+                    file=sys.stderr,
+                )
+            if args.check_certs:
+                directory = _cert_dir(args.check_certs, analysis, cert_analyses)
+                cert_problems.extend(
+                    (analysis, problem) for problem in check(certs or {}, directory)
+                )
 
     if args.format == "json":
         print(
@@ -254,6 +337,7 @@ def main(argv=None) -> int:
                 diagnostics,
                 certificate=report.certificate,
                 numeric_certificates=report.numeric_certificates,
+                purity_certificates=report.purity_certificates,
             )
         )
     elif args.format == "github":
@@ -262,14 +346,14 @@ def main(argv=None) -> int:
             print(output)
         if report.certificate is not None and not report.certificate["ok"]:
             print("::error title=leakage-certificate::taint certificate failed")
-        for problem in cert_problems:
-            print(f"::error title=numeric-certificate::{problem}")
+        for analysis, problem in cert_problems:
+            print(f"::error title={analysis}-certificate::{problem}")
     else:
         print(format_text(diagnostics))
         if report.certificate is not None:
             print(json.dumps(report.certificate, indent=2, sort_keys=True))
-        for problem in cert_problems:
-            print(f"numeric-certificate: {problem}")
+        for analysis, problem in cert_problems:
+            print(f"{analysis}-certificate: {problem}")
 
     if args.stats:
         _print_stats(diagnostics, report.suppressed)

@@ -1,0 +1,78 @@
+"""Shared regenerate-and-diff certificate I/O.
+
+Both certificate families — the per-module reassociation-safety
+certificates (``certs/numeric/``) and the per-entry-point purity
+certificates (``certs/purity/``) — follow the same contract: the analysis
+is the single source of truth, the committed JSON is a byte-exact render
+of its output, and CI regenerates and diffs.  This module holds the one
+implementation; :mod:`repro.lint.numeric` and :mod:`repro.lint.purity`
+bind it to their filename schemes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List
+
+__all__ = ["render_certificate", "write_certificate_set", "check_certificate_set"]
+
+
+def render_certificate(certificate: dict) -> str:
+    """Canonical byte rendering (sorted keys, trailing newline)."""
+    return json.dumps(certificate, indent=2, sort_keys=True) + "\n"
+
+
+def write_certificate_set(
+    certificates: Dict[str, dict],
+    directory,
+    filename: Callable[[dict], str],
+) -> List[str]:
+    """Write one JSON file per certificate; returns the written names."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for _key, certificate in sorted(certificates.items()):
+        name = filename(certificate)
+        (directory / name).write_text(render_certificate(certificate), encoding="utf-8")
+        written.append(name)
+    return written
+
+
+def check_certificate_set(
+    certificates: Dict[str, dict],
+    directory,
+    filename: Callable[[dict], str],
+) -> List[str]:
+    """Diff freshly computed certificates against a committed directory.
+
+    Returns a list of human-readable drift messages (empty means in sync):
+    missing files, stale files nothing currently produces, and content
+    drift.
+    """
+    directory = Path(directory)
+    problems: List[str] = []
+    expected = {}
+    for _key, certificate in sorted(certificates.items()):
+        expected[filename(certificate)] = certificate
+    committed = (
+        {entry.name for entry in directory.glob("*.json")}
+        if directory.is_dir()
+        else set()
+    )
+    for name in sorted(set(expected) - committed):
+        problems.append(f"missing certificate {name}: regenerate with --write-certs")
+    for name in sorted(committed - set(expected)):
+        problems.append(f"stale certificate {name}: no in-scope module produces it")
+    for name in sorted(set(expected) & committed):
+        try:
+            on_disk = json.loads((directory / name).read_text(encoding="utf-8"))
+        except ValueError:
+            problems.append(f"unreadable certificate {name}: not valid JSON")
+            continue
+        if on_disk != expected[name]:
+            problems.append(
+                f"certificate drift in {name}: analysis output changed; "
+                f"regenerate with --write-certs"
+            )
+    return problems

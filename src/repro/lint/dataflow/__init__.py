@@ -12,7 +12,10 @@ per-function summaries.  Two analysis families ride on it:
   certificate;
 * :mod:`~repro.lint.dataflow.numeric` — reassociation-safety analysis of
   the simulation hot paths (MAYA040-MAYA043) plus the per-module
-  ``maya.lint.numeric-certificate.v1``.
+  ``maya.lint.numeric-certificate.v1``;
+* :mod:`~repro.lint.dataflow.purity` — purity & cache-salt soundness
+  certification of the simulation closure (MAYA050-MAYA053) plus the
+  per-entry-point ``maya.lint.purity-certificate.v1``.
 """
 
 from .interp import AV, Evaluator, Finding, Reporter
@@ -24,6 +27,13 @@ from .numeric import (
     NumVal,
     analyze_numeric,
     numeric_certificates,
+)
+from .purity import (
+    PURITY_CERT_SCHEMA,
+    PURITY_RULES,
+    PurityEvaluator,
+    analyze_purity,
+    purity_certificates,
 )
 from .rules import ANALYSES, DataflowContext, DataflowRule, all_dataflow_rule_ids, dataflow_rules
 from .taint import (
@@ -51,6 +61,11 @@ __all__ = [
     "NumVal",
     "analyze_numeric",
     "numeric_certificates",
+    "PURITY_CERT_SCHEMA",
+    "PURITY_RULES",
+    "PurityEvaluator",
+    "analyze_purity",
+    "purity_certificates",
     "ANALYSES",
     "DataflowContext",
     "DataflowRule",

@@ -17,6 +17,7 @@ from ..rules import LintContext, RawFinding, Rule
 from .interp import Finding
 from .model import ProjectModel
 from .numeric import NUMERIC_RULES, analyze_numeric
+from .purity import PURITY_RULES, analyze_purity
 from .taint import TAINT_RULES, analyze_taint
 from .units import UNIT_RULES, analyze_units
 
@@ -33,6 +34,7 @@ ANALYSES: Dict[str, Tuple[str, ...]] = {
     "units": tuple(sorted(UNIT_RULES)),
     "taint": tuple(sorted(TAINT_RULES)),
     "numeric": tuple(sorted(NUMERIC_RULES)),
+    "purity": tuple(sorted(PURITY_RULES)),
 }
 
 
@@ -45,10 +47,12 @@ class DataflowContext:
         certificate: Optional[dict] = None,
         analyses: Tuple[str, ...] = (),
         numeric_certificates: Optional[Dict[str, dict]] = None,
+        purity_certificates: Optional[Dict[str, dict]] = None,
     ) -> None:
         self.analyses = analyses
         self.certificate = certificate
         self.numeric_certificates = numeric_certificates
+        self.purity_certificates = purity_certificates
         self._by_path_rule: Dict[Tuple[str, str], List[Finding]] = {}
         for finding in findings:
             key = (finding.path, finding.rule_id)
@@ -65,7 +69,7 @@ class DataflowContext:
         scanner and certificate excerpts.
         """
         selected = tuple(
-            name for name in ("units", "taint", "numeric") if name in analyses
+            name for name in ("units", "taint", "numeric", "purity") if name in analyses
         )
         unknown = sorted(set(analyses) - set(ANALYSES))
         if unknown:
@@ -77,6 +81,7 @@ class DataflowContext:
         findings: List[Finding] = []
         certificate = None
         numeric_certs = None
+        purity_certs = None
         if "units" in selected:
             findings.extend(analyze_units(model))
         if "taint" in selected:
@@ -85,7 +90,10 @@ class DataflowContext:
         if "numeric" in selected:
             numeric_findings, numeric_certs = analyze_numeric(model, sources)
             findings.extend(numeric_findings)
-        return cls(sorted(findings), certificate, selected, numeric_certs)
+        if "purity" in selected:
+            purity_findings, purity_certs = analyze_purity(model, sources)
+            findings.extend(purity_findings)
+        return cls(sorted(findings), certificate, selected, numeric_certs, purity_certs)
 
     def findings_for(self, path: str, rule_id: str) -> List[Finding]:
         return self._by_path_rule.get((path, rule_id), [])
@@ -118,6 +126,7 @@ _DATAFLOW_RULES: Tuple[type, ...] = tuple(
         ("units", UNIT_RULES),
         ("taint", TAINT_RULES),
         ("numeric", NUMERIC_RULES),
+        ("purity", PURITY_RULES),
     )
     for rule_id, summary in sorted(table.items())
 )

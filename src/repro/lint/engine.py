@@ -168,6 +168,8 @@ class LintReport:
     certificate: Optional[dict] = None
     #: Per-module reassociation-safety certificates (numeric analysis).
     numeric_certificates: Optional[Dict[str, dict]] = None
+    #: Per-entry-point cache-soundness certificates (purity analysis).
+    purity_certificates: Optional[Dict[str, dict]] = None
     #: Findings filtered out by ``# maya: ignore`` suppressions.
     suppressed: List[Diagnostic] = field(default_factory=list)
 
@@ -278,6 +280,9 @@ class LintEngine:
             numeric_certificates=(
                 dataflow.numeric_certificates if dataflow is not None else None
             ),
+            purity_certificates=(
+                dataflow.purity_certificates if dataflow is not None else None
+            ),
             suppressed=sorted(suppressed),
         )
 
@@ -330,6 +335,7 @@ def format_json(
     diagnostics: Sequence[Diagnostic],
     certificate: Optional[dict] = None,
     numeric_certificates: Optional[Dict[str, dict]] = None,
+    purity_certificates: Optional[Dict[str, dict]] = None,
 ) -> str:
     payload = {
         "findings": [diag.as_dict() for diag in diagnostics],
@@ -339,6 +345,8 @@ def format_json(
         payload["leakage_certificate"] = certificate
     if numeric_certificates is not None:
         payload["numeric_certificates"] = numeric_certificates
+    if purity_certificates is not None:
+        payload["purity_certificates"] = purity_certificates
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

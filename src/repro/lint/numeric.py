@@ -4,16 +4,15 @@ The committed ``certs/numeric/`` directory holds one JSON file per
 in-scope module, named by dotted module (``machine.power.json``).  CI
 regenerates the certificates with ``repro-lint --analyze numeric
 --write-certs`` into a scratch directory and fails on any drift against
-the committed set — the same regenerate-and-diff contract the controller
-certificate uses.
+the committed set — the regenerate-and-diff contract shared with the
+purity certificates (:mod:`repro.lint.certs`).
 """
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
 from typing import Dict, List
 
+from .certs import check_certificate_set, write_certificate_set
 from .dataflow.numeric import CERT_SCHEMA, module_name
 
 __all__ = ["CERT_SCHEMA", "module_name", "write_certificates", "check_certificates"]
@@ -23,20 +22,9 @@ def _cert_filename(certificate: dict) -> str:
     return f"{certificate['module']}.json"
 
 
-def _render(certificate: dict) -> str:
-    return json.dumps(certificate, indent=2, sort_keys=True) + "\n"
-
-
 def write_certificates(certificates: Dict[str, dict], directory) -> List[str]:
     """Write one JSON file per module certificate; returns written names."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    written = []
-    for _path, certificate in sorted(certificates.items()):
-        name = _cert_filename(certificate)
-        (directory / name).write_text(_render(certificate), encoding="utf-8")
-        written.append(name)
-    return written
+    return write_certificate_set(certificates, directory, _cert_filename)
 
 
 def check_certificates(certificates: Dict[str, dict], directory) -> List[str]:
@@ -45,29 +33,4 @@ def check_certificates(certificates: Dict[str, dict], directory) -> List[str]:
     Returns a list of human-readable drift messages (empty means in sync):
     missing files, stale files with no current module, and content drift.
     """
-    directory = Path(directory)
-    problems: List[str] = []
-    expected = {}
-    for _path, certificate in sorted(certificates.items()):
-        expected[_cert_filename(certificate)] = certificate
-    committed = (
-        {entry.name for entry in directory.glob("*.json")}
-        if directory.is_dir()
-        else set()
-    )
-    for name in sorted(set(expected) - committed):
-        problems.append(f"missing certificate {name}: regenerate with --write-certs")
-    for name in sorted(committed - set(expected)):
-        problems.append(f"stale certificate {name}: no in-scope module produces it")
-    for name in sorted(set(expected) & committed):
-        try:
-            on_disk = json.loads((directory / name).read_text(encoding="utf-8"))
-        except ValueError:
-            problems.append(f"unreadable certificate {name}: not valid JSON")
-            continue
-        if on_disk != expected[name]:
-            problems.append(
-                f"certificate drift in {name}: analysis output changed; "
-                f"regenerate with --write-certs"
-            )
-    return problems
+    return check_certificate_set(certificates, directory, _cert_filename)

@@ -1,0 +1,9 @@
+"""Fixture physics model that reads the environment (impure)."""
+
+import os
+
+
+def window_power(workload: str, seed: int) -> float:
+    # MAYA050: an env var changes the trace but not the job key.
+    scale = float(os.environ.get("POWER_SCALE", "1.0"))
+    return scale * (len(workload) + seed)

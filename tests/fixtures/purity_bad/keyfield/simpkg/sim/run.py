@@ -1,0 +1,5 @@
+"""Fixture simulation kernel: every argument shapes the trace."""
+
+
+def simulate(workload: str, seed: int, noise_gain: float) -> float:
+    return noise_gain * (len(workload) + seed)

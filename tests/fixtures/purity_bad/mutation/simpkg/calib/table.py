@@ -1,0 +1,18 @@
+"""Fixture calibration that caches into module and class state (impure)."""
+
+_GAIN_TABLE: dict = {}
+
+
+class Calibration:
+    reference = 1.0
+
+
+def calibrated_power(workload: str, seed: int) -> float:
+    gain = _GAIN_TABLE.get(workload)
+    if gain is None:
+        gain = 1.0 + 0.1 * seed
+        # MAYA052: a store into a module-level container survives the job.
+        _GAIN_TABLE[workload] = gain
+    # MAYA052: a class-attribute store survives the job.
+    Calibration.reference = gain
+    return gain * len(workload)

@@ -1,0 +1,7 @@
+"""Fixture engine loop (salted) that leans on an unsalted helper."""
+
+from ..noise.extra import extra_noise
+
+
+def run_engine(workload: str, seed: int) -> float:
+    return len(workload) + extra_noise(seed)

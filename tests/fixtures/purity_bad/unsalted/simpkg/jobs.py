@@ -1,0 +1,31 @@
+"""Fixture: the salt disagrees with the closure in both directions.
+
+``noise`` is reachable (via :mod:`.engine.run`) but not declared, and the
+declared ``thermals`` entry covers no reachable module — exactly two
+MAYA051 findings must fire.
+"""
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from .engine.run import run_engine
+
+_SIMULATION_PACKAGES = ("engine", "thermals")
+
+
+@dataclass(frozen=True)
+class EngineJob:
+    workload: str
+    seed: int = 0
+
+    def describe(self) -> dict:
+        return asdict(self)
+
+    def key(self) -> str:
+        payload = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def execute_job(job: EngineJob) -> float:
+    return run_engine(job.workload, job.seed)

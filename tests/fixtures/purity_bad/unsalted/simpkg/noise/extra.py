@@ -1,0 +1,5 @@
+"""Fixture helper reachable from the simulation but missing from the salt."""
+
+
+def extra_noise(seed: int) -> float:
+    return 0.01 * seed
