@@ -30,7 +30,15 @@ from .features import FeatureConfig, TraceFeaturizer, segment_trace
 from .metrics import ConfusionResult, confusion_matrix
 from .mlp import MLPClassifier, MLPConfig
 
-__all__ = ["AttackScenario", "AttackOutcome", "simulate_runs", "sample_runs", "train_and_evaluate", "run_attack"]
+__all__ = [
+    "AttackScenario",
+    "AttackOutcome",
+    "scenario_jobs",
+    "simulate_runs",
+    "sample_runs",
+    "train_and_evaluate",
+    "run_attack",
+]
 
 
 @dataclass(frozen=True)
@@ -110,23 +118,17 @@ class AttackOutcome:
         return self.result.chance_accuracy
 
 
-def simulate_runs(
-    scenario: AttackScenario,
-    factory: DefenseFactory,
-    workers: int | None = None,
-    cache: object = None,
-    backend: object = None,
-) -> list[list[Trace]]:
-    """Record ``runs_per_class`` executions of every class under the defense.
+def scenario_jobs(
+    scenario: AttackScenario, factory: DefenseFactory
+) -> list[SessionJob]:
+    """The declarative session jobs behind one scenario's collection.
 
-    Every ``(class, run)`` session is an independent declarative job, so
-    the whole collection fans out through :func:`repro.exec.run_sessions`
-    (``workers`` processes or the lock-step ``backend="batch"``, optional
-    content-addressed trace cache) and is reshaped back to the paper's
-    ``classes x runs`` nesting — in the same order, with bit-identical
-    traces, as the serial loop this replaces.
+    In label-major, run-minor order — the order :func:`simulate_runs`
+    reshapes back into the paper's ``classes x runs`` nesting.  Exposed so
+    tooling (the bench's backend-selection probe, job-count accounting) can
+    reason about the same job list the pipeline executes.
     """
-    jobs = [
+    return [
         SessionJob.for_factory(
             factory,
             spec=scenario.spec,
@@ -139,6 +141,26 @@ def simulate_runs(
         for workload_name in scenario.class_workloads
         for run in range(scenario.runs_per_class)
     ]
+
+
+def simulate_runs(
+    scenario: AttackScenario,
+    factory: DefenseFactory,
+    workers: int | None = None,
+    cache: object = None,
+    backend: object = None,
+    precision: object = None,
+) -> list[list[Trace]]:
+    """Record ``runs_per_class`` executions of every class under the defense.
+
+    Every ``(class, run)`` session is an independent declarative job, so
+    the whole collection fans out through :func:`repro.exec.run_sessions`
+    (``workers`` processes or the lock-step ``backend="batch"``, optional
+    content-addressed trace cache) and is reshaped back to the paper's
+    ``classes x runs`` nesting — in the same order, with bit-identical
+    traces, as the serial loop this replaces.
+    """
+    jobs = scenario_jobs(scenario, factory)
     telemetry.ops(
         "pipeline.collect",
         scenario=scenario.name,
@@ -147,7 +169,8 @@ def simulate_runs(
         runs_per_class=scenario.runs_per_class,
     )
     traces = run_sessions(
-        jobs, workers=workers, cache=cache, factory=factory, backend=backend
+        jobs, workers=workers, cache=cache, factory=factory, backend=backend,
+        precision=precision,
     )
     per_class = scenario.runs_per_class
     return [
@@ -275,6 +298,7 @@ def run_attack(
     workers: int | None = None,
     cache: object = None,
     backend: object = None,
+    precision: object = None,
 ) -> AttackOutcome:
     """The full pipeline: simulate, sample, train, evaluate.
 
@@ -283,6 +307,9 @@ def run_attack(
     functions of the collected traces, so a cached or batched re-run
     reproduces the identical outcome.
     """
-    runs = simulate_runs(scenario, factory, workers=workers, cache=cache, backend=backend)
+    runs = simulate_runs(
+        scenario, factory, workers=workers, cache=cache, backend=backend,
+        precision=precision,
+    )
     sampled = sample_runs(scenario, runs)
     return train_and_evaluate(scenario, sampled)

@@ -2,19 +2,27 @@
 
 Times the dominant stages of the attack pipeline — trace collection
 (serially, through the process-parallel execution engine, through the
-vectorized lock-step batch backend, and replayed from the
-content-addressed cache), featurization, and MLP training — and writes the
-numbers to ``BENCH_pipeline.json``.
+vectorized lock-step batch backend, under the ``"fast"`` precision tier,
+through adaptive ``"auto"`` backend selection, and replayed from the
+content-addressed cache), featurization, and MLP training — and writes
+the numbers to ``BENCH_pipeline.json``.
 
-The benchmark is also a determinism check: the parallel, batched and
-cache-replayed traces are compared bit-for-bit against the serial ones
-(and the batch-collected traces must reproduce the identical attack
-outcome), so a speedup that comes at the price of changed results fails
-loudly rather than silently.  Every collection leg pins its backend
-explicitly, so an ambient ``REPRO_BACKEND`` (e.g. the CI batch matrix
-leg) cannot silently reroute the baselines it is measured against.
-Host wall-clock reads here measure *our* runtime, never the simulation
-(this module is a sanctioned MAYA002 timing site).
+The benchmark is also a correctness check, with a different oracle per
+tier: the parallel, batched, auto and cache-replayed exact-tier traces
+are compared bit-for-bit against the serial ones (and the batch-collected
+traces must reproduce the identical attack outcome), while the fast-tier
+traces are measured against the serial ones by the runtime equivalence
+certificate (:mod:`repro.exec.equivalence`) — written next to the report
+as ``<out>.equiv.json`` with the end-to-end attack outcome attached,
+which must be *identical*.  A speedup that comes at the price of changed
+results fails loudly rather than silently.  Every collection leg pins
+its backend *and* precision tier explicitly (the auto probe pins only
+the tier — the backend pick is what it measures), so an ambient
+``REPRO_BACKEND`` or ``REPRO_PRECISION`` (e.g. the CI batch matrix or
+fast-tier legs) cannot silently reroute the baselines it is measured
+against.  Host wall-clock reads here measure
+*our* runtime, never the simulation (this module is a sanctioned MAYA002
+timing site).
 """
 
 from __future__ import annotations
@@ -30,18 +38,25 @@ from ..attacks.mlp import MLPConfig
 from ..attacks.pipeline import (
     AttackScenario,
     sample_runs,
+    scenario_jobs,
     simulate_runs,
     train_and_evaluate,
 )
 from ..defenses.designs import DefenseFactory
-from ..exec import TraceCache, resolve_workers
+from ..exec import TraceCache, choose_backend, resolve_workers
+from ..exec.equivalence import (
+    attach_attack_outcome,
+    certify_traces,
+    require,
+    write_certificate,
+)
 from ..machine import SYS1
 from ..telemetry import MetricsRegistry
 
 __all__ = ["DEFAULT_OUT", "SCHEMA", "bench_scenario", "run_bench"]
 
 DEFAULT_OUT = "BENCH_pipeline.json"
-SCHEMA = "maya.bench.pipeline.v2"
+SCHEMA = "maya.bench.pipeline.v3"
 
 #: Minimum parallel-over-serial collection speedup ``--check`` demands on
 #: multi-core hosts.  The issue targets ~2x with 4 workers; 1.3x keeps the
@@ -52,6 +67,18 @@ CHECK_MIN_SPEEDUP = 1.3
 #: batch backend needs no extra cores — vectorizing the tick-level physics
 #: across the fleet comfortably clears 2x even on one CPU.
 BATCH_CHECK_MIN_SPEEDUP = 2.0
+
+#: Minimum fast-tier-over-serial collection speedup ``--check`` demands.
+#: The fast tier batches the transcendentals, the controller matmul and the
+#: AR(1) noise across the fleet *and* fast-forwards whole windows of
+#: constant-settings phase bookkeeping, so 10x holds even on one CPU.
+FAST_CHECK_MIN_SPEEDUP = 10.0
+
+#: Floor for the ``backend="auto"`` probe: adaptive selection must never
+#: pick a backend slower than just running the jobs serially.  This is a
+#: sanity gate on the selection heuristic, not a performance target, so it
+#: sits exactly at parity.
+AUTO_CHECK_MIN_SPEEDUP = 1.0
 
 
 def bench_scenario(smoke: bool = True, seed: int = 7) -> AttackScenario:
@@ -126,30 +153,59 @@ def run_bench(
 
     serial_runs = _timed(
         "collect_serial_s",
-        lambda: simulate_runs(scenario, factory, workers=1, cache=False, backend="serial"),
+        lambda: simulate_runs(
+            scenario, factory, workers=1, cache=False, backend="serial",
+            precision="exact",
+        ),
     )
 
     parallel_runs = _timed(
         "collect_parallel_s",
         lambda: simulate_runs(
-            scenario, factory, workers=workers, cache=False, backend="process"
+            scenario, factory, workers=workers, cache=False, backend="process",
+            precision="exact",
         ),
     )
     parallel_matches = _traces_equal(serial_runs, parallel_runs)
 
     batched_runs = _timed(
         "collect_batched_s",
-        lambda: simulate_runs(scenario, factory, cache=False, backend="batch"),
+        lambda: simulate_runs(
+            scenario, factory, cache=False, backend="batch", precision="exact"
+        ),
     )
     batched_matches = _traces_equal(serial_runs, batched_runs)
 
+    fast_runs = _timed(
+        "collect_fast_s",
+        lambda: simulate_runs(
+            scenario, factory, cache=False, backend="batch", precision="fast"
+        ),
+    )
+
+    # The auto probe measures what a caller who sets nothing gets: the
+    # heuristic's pick for this job list on this host, timed end to end.
+    auto_backend = choose_backend(scenario_jobs(scenario, factory), workers)
+    auto_runs = _timed(
+        "collect_auto_s",
+        lambda: simulate_runs(
+            scenario, factory, workers=workers, cache=False, backend="auto",
+            precision="exact",
+        ),
+    )
+    auto_matches = _traces_equal(serial_runs, auto_runs)
+
     with tempfile.TemporaryDirectory(prefix="maya-bench-cache-") as tmp:
         cache = TraceCache(root=tmp)
-        simulate_runs(scenario, factory, workers=1, cache=cache, backend="serial")
+        simulate_runs(
+            scenario, factory, workers=1, cache=cache, backend="serial",
+            precision="exact",
+        )
         cached_runs = _timed(
             "collect_cached_s",
             lambda: simulate_runs(
-                scenario, factory, workers=1, cache=cache, backend="serial"
+                scenario, factory, workers=1, cache=cache, backend="serial",
+                precision="exact",
             ),
         )
         cache_hits = cache.hits
@@ -171,8 +227,21 @@ def run_bench(
         and (batched_outcome.result.matrix == outcome.result.matrix).all()
     )
 
+    # Fast-tier oracle: the runtime equivalence certificate, with the
+    # end-to-end attack outcome attached (required identical).  The cert
+    # is persisted next to the report *before* being enforced, so a
+    # failing run leaves its evidence behind.
+    fast_outcome = train_and_evaluate(scenario, sample_runs(scenario, fast_runs))
+    equivalence = certify_traces(
+        [trace for class_runs in serial_runs for trace in class_runs],
+        [trace for class_runs in fast_runs for trace in class_runs],
+    )
+    attach_attack_outcome(equivalence, outcome, fast_outcome)
+
     speedup = timings["collect_serial_s"] / max(timings["collect_parallel_s"], 1e-9)
     batched_speedup = timings["collect_serial_s"] / max(timings["collect_batched_s"], 1e-9)
+    fast_speedup = timings["collect_serial_s"] / max(timings["collect_fast_s"], 1e-9)
+    auto_speedup = timings["collect_serial_s"] / max(timings["collect_auto_s"], 1e-9)
     cache_speedup = timings["collect_serial_s"] / max(timings["collect_cached_s"], 1e-9)
     cpu_count = os.cpu_count() or 1
     report = {
@@ -187,16 +256,24 @@ def run_bench(
         "metrics": registry.render(),
         "parallel_speedup": speedup,
         "batched_speedup": batched_speedup,
+        "fast_speedup": fast_speedup,
+        "auto_speedup": auto_speedup,
+        "auto_backend": auto_backend,
         "cache_speedup": cache_speedup,
         "cache_hits": int(cache_hits),
         "parallel_matches_serial": bool(parallel_matches),
         "batched_matches_serial": bool(batched_matches),
         "batched_outcome_matches_serial": outcome_matches,
+        "auto_matches_serial": bool(auto_matches),
+        "fast_certified": bool(equivalence["ok"]),
         "cached_matches_serial": bool(cached_matches),
         "attack_accuracy": outcome.average_accuracy,
     }
     out_path = Path(out_path)
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_certificate(
+        equivalence, out_path.with_name(out_path.stem + ".equiv.json")
+    )
 
     # Mirror the phase gauges into the ambient recorder so a telemetry-on
     # run's metrics.json includes them alongside the engine counters.
@@ -210,8 +287,13 @@ def run_bench(
         raise AssertionError("batched traces differ from serial traces")
     if not outcome_matches:
         raise AssertionError("batch-collected traces changed the attack outcome")
+    if not auto_matches:
+        raise AssertionError("auto-backend traces differ from serial traces")
     if not cached_matches:
         raise AssertionError("cached traces differ from serial traces")
+    # Always enforced, --check or not: a fast trace past its certified
+    # bound (or a flipped attack outcome) is a wrong answer.
+    require(equivalence)
     if check:
         if cache_hits < report["n_sessions"]:
             raise AssertionError(
@@ -228,5 +310,18 @@ def run_bench(
             raise AssertionError(
                 f"batched speedup {batched_speedup:.2f}x below the "
                 f"{BATCH_CHECK_MIN_SPEEDUP}x floor"
+            )
+        if fast_speedup < FAST_CHECK_MIN_SPEEDUP:
+            raise AssertionError(
+                f"fast-tier speedup {fast_speedup:.2f}x below the "
+                f"{FAST_CHECK_MIN_SPEEDUP}x floor"
+            )
+        # The auto floor applies to whatever backend the heuristic picked
+        # — on a single-core host that pick is typically batch or serial,
+        # so unlike the parallel gate it needs no core-count guard.
+        if auto_speedup < AUTO_CHECK_MIN_SPEEDUP:
+            raise AssertionError(
+                f"auto backend chose {auto_backend!r} but ran "
+                f"{auto_speedup:.2f}x vs serial, below parity"
             )
     return report

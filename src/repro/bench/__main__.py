@@ -31,8 +31,8 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--check", action="store_true",
         help="fail unless the parallel leg hits the speedup floor "
-        "(multi-core hosts), the batched leg clears its own floor, "
-        "and the cache replay hits every session",
+        "(multi-core hosts), the batched/fast/auto legs clear their own "
+        "floors, and the cache replay hits every session",
     )
     args = parser.parse_args(argv)
     report = run_bench(

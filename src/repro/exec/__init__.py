@@ -16,8 +16,30 @@ from .batch import (
     resolve_batch_size,
 )
 from .cache import DEFAULT_CACHE_DIR, TraceCache, default_cache
-from .engine import BACKENDS, resolve_backend, resolve_workers, run_sessions
-from .jobs import CACHE_EPOCH, SessionJob, code_salt, execute_job, register_factory
+from .engine import (
+    BACKENDS,
+    choose_backend,
+    resolve_backend,
+    resolve_workers,
+    run_sessions,
+)
+from .equivalence import (
+    CERT_SCHEMA,
+    EquivalenceError,
+    certify_traces,
+    load_certificate,
+    require,
+    write_certificate,
+)
+from .jobs import (
+    CACHE_EPOCH,
+    PRECISIONS,
+    SessionJob,
+    code_salt,
+    execute_job,
+    register_factory,
+    resolve_precision,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -26,14 +48,23 @@ __all__ = [
     "BACKENDS",
     "BatchedMachine",
     "batch_key",
+    "choose_backend",
     "execute_jobs_batched",
     "resolve_batch_size",
     "resolve_backend",
     "resolve_workers",
     "run_sessions",
     "CACHE_EPOCH",
+    "CERT_SCHEMA",
+    "EquivalenceError",
+    "PRECISIONS",
     "SessionJob",
+    "certify_traces",
     "code_salt",
     "execute_job",
+    "load_certificate",
     "register_factory",
+    "require",
+    "resolve_precision",
+    "write_certificate",
 ]

@@ -58,7 +58,9 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "BatchedMachine",
     "batch_key",
+    "build_fleet",
     "execute_jobs_batched",
+    "open_channels",
     "resolve_batch_size",
 ]
 
@@ -89,14 +91,30 @@ def batch_key(job: SessionJob) -> "tuple | None":
     """Grouping key of jobs that may share one lock-step batch.
 
     Sessions advance lock-step only when they share the same platform and
-    the same tick/interval/duration grid.  Completion-mode jobs
-    (``duration_s is None``) and temperature-recording jobs return ``None``
-    and fall back to the serial runner: their per-session loop lengths and
-    thermal state are not lock-step computable.
+    the same tick/interval/duration grid.  Under the exact tier,
+    completion-mode jobs (``duration_s is None``) and temperature-recording
+    jobs return ``None`` and fall back to the serial runner: their
+    per-session loop lengths and thermal state are not lock-step computable
+    without relaxing bit-identity.  The fast tier batches *everything* —
+    masked per-row termination lets finished sessions coast while the
+    fleet advances — so its key also carries the completion/thermal grid
+    parameters.  Exact and fast jobs never share a group.
     """
+    if job.precision == "fast":
+        return (
+            "fast",
+            job.spec,
+            None if job.duration_s is None else float(job.duration_s),
+            float(job.interval_s),
+            float(job.tick_s),
+            float(job.max_duration_s),
+            float(job.tail_s),
+            bool(job.record_temperature),
+        )
     if job.duration_s is None or job.record_temperature:
         return None
     return (
+        "exact",
         job.spec,
         float(job.duration_s),
         float(job.interval_s),
@@ -151,22 +169,15 @@ class BatchedMachine:
         )
 
 
-def execute_jobs_batched(
+def build_fleet(
     jobs: "list[SessionJob]", factory: DefenseFactory | None = None
-) -> "list[Trace]":
-    """Simulate compatible fixed-duration jobs lock-step, in job order.
+) -> "tuple[list[SimulatedMachine], list, list[RaplSensor]]":
+    """Machines, defenses and sensors for ``jobs``, seeded as the serial runner.
 
-    All jobs must share one :func:`batch_key`; the caller (the engine's
-    batch grouping) guarantees this.  Returns one trace per job, each
-    bit-identical to ``job.execute()``.
+    The spawn keys replay ``run_session``'s seeding scheme verbatim, so
+    every per-session stream is the one the serial runner would use.
+    Shared by the exact lock-step backend and the fast tier.
     """
-    jobs = list(jobs)
-    if not jobs:
-        return []
-    keys = {batch_key(job) for job in jobs}
-    if None in keys or len(keys) != 1:
-        raise ValueError("jobs of one batch must share a batch_key")
-
     machines: list[SimulatedMachine] = []
     defenses: list = []
     sensors: list[RaplSensor] = []
@@ -174,8 +185,6 @@ def execute_jobs_batched(
         job_factory = job.resolve_factory(factory)
         machine = job.build_machine()
         defense = job_factory.create(job.defense)
-        # The spawn keys replay run_session's seeding scheme verbatim, so
-        # every per-session stream is the one the serial runner would use.
         defense_rng = spawn(
             job.seed, "defense", defense.name, machine.workload.name, job.run_id
         )
@@ -188,32 +197,64 @@ def execute_jobs_batched(
         )
         machines.append(machine)
         defenses.append(defense)
+    return machines, defenses, sensors
 
-    # One telemetry channel per session, so the interleaved lock-step loop
-    # still yields one ordered event stream per session — byte-identical
-    # to the serial runner's (the channels serialize through the same
-    # code path with the same values).
+
+def open_channels(jobs, machines, defenses, engine: str) -> "list | None":
+    """One telemetry channel per session (or ``None`` when recording is off).
+
+    Per-session channels let an interleaved lock-step loop still yield one
+    ordered event stream per session — byte-identical to the serial
+    runner's, because the channels serialize through the same code path
+    with the same values.
+    """
     recorder = telemetry.get_recorder()
-    channels = None
-    if recorder.enabled:
-        channels = [
-            recorder.session(
-                engine="lockstep",
-                job_key=job.key(),
-                platform=job.spec.name,
-                workload=machine.workload.name,
-                defense=defense.name,
-                seed=job.seed,
-                run_id=job.run_id,
-                interval_s=job.interval_s,
-                duration_s=job.duration_s,
-                tick_s=job.tick_s,
-                max_duration_s=job.max_duration_s,
-                tail_s=job.tail_s,
-                record_temperature=job.record_temperature,
-            )
-            for job, machine, defense in zip(jobs, machines, defenses)
-        ]
+    if not recorder.enabled:
+        return None
+    return [
+        recorder.session(
+            engine=engine,
+            job_key=job.key(),
+            platform=job.spec.name,
+            workload=machine.workload.name,
+            defense=defense.name,
+            seed=job.seed,
+            run_id=job.run_id,
+            interval_s=job.interval_s,
+            duration_s=job.duration_s,
+            tick_s=job.tick_s,
+            max_duration_s=job.max_duration_s,
+            tail_s=job.tail_s,
+            record_temperature=job.record_temperature,
+            precision=job.precision,
+        )
+        for job, machine, defense in zip(jobs, machines, defenses)
+    ]
+
+
+def execute_jobs_batched(
+    jobs: "list[SessionJob]", factory: DefenseFactory | None = None
+) -> "list[Trace]":
+    """Simulate compatible jobs lock-step, in job order.
+
+    All jobs must share one :func:`batch_key`; the caller (the engine's
+    batch grouping) guarantees this.  Exact-tier traces are each
+    bit-identical to ``job.execute()``; fast-tier groups route through
+    :mod:`repro.exec.fast` and are certified-equivalent instead.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    keys = {batch_key(job) for job in jobs}
+    if None in keys or len(keys) != 1:
+        raise ValueError("jobs of one batch must share a batch_key")
+    if jobs[0].precision == "fast":
+        from .fast import run_jobs_fast
+
+        return run_jobs_fast(jobs, factory)
+
+    machines, defenses, sensors = build_fleet(jobs, factory)
+    channels = open_channels(jobs, machines, defenses, engine="lockstep")
 
     template = jobs[0]
     traces = _run_lockstep(

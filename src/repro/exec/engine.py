@@ -4,7 +4,8 @@
 attack pipeline route their simulation batches through.  It
 
 * resolves the execution backend (explicit argument > ``REPRO_BACKEND``
-  env > ``"process"``) — a plain in-process loop (``"serial"``), a
+  env > ``"auto"``) — adaptive selection (``"auto"``,
+  :func:`choose_backend`), a plain in-process loop (``"serial"``), a
   process pool (``"process"``), or the vectorized lock-step backend
   (``"batch"``, :mod:`repro.exec.batch`);
 * resolves the worker count (explicit argument > ``REPRO_WORKERS`` env >
@@ -38,19 +39,27 @@ from ..defenses.designs import DefenseFactory
 from ..machine import Trace
 from .batch import batch_key, execute_jobs_batched, resolve_batch_size
 from .cache import TraceCache, default_cache
-from .jobs import SessionJob, execute_job, register_factory
+from .jobs import SessionJob, execute_job, register_factory, resolve_precision
 
-__all__ = ["BACKENDS", "resolve_backend", "resolve_workers", "run_sessions"]
+__all__ = [
+    "BACKENDS",
+    "choose_backend",
+    "resolve_backend",
+    "resolve_workers",
+    "run_sessions",
+]
 
 #: Default per-job timeout (overridable via ``REPRO_JOB_TIMEOUT_S``).
 DEFAULT_JOB_TIMEOUT_S = 600.0
 
 #: Execution backends :func:`run_sessions` can route jobs through.
-BACKENDS = ("serial", "process", "batch")
+#: ``"auto"`` resolves to one of the concrete three per run (see
+#: :func:`choose_backend`).
+BACKENDS = ("auto", "serial", "process", "batch")
 
 
 def resolve_backend(backend: object = None) -> str:
-    """Backend name: explicit argument > ``REPRO_BACKEND`` env > ``"process"``.
+    """Backend name: explicit argument > ``REPRO_BACKEND`` env > ``"auto"``.
 
     An explicit ``backend`` of ``None`` or ``""`` means "unset" and defers
     to the environment.  Note ``"process"`` still runs in-process when the
@@ -58,11 +67,38 @@ def resolve_backend(backend: object = None) -> str:
     strategy for the jobs the cache could not answer.
     """
     if backend is None or backend == "":
-        backend = os.environ.get("REPRO_BACKEND", "").strip() or "process"
+        backend = os.environ.get("REPRO_BACKEND", "").strip() or "auto"
     backend = str(backend)
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
     return backend
+
+
+def choose_backend(jobs, workers: object = None) -> str:
+    """The concrete backend ``"auto"`` picks for ``jobs`` on this host.
+
+    The heuristic is deliberately conservative — it must never pick a
+    backend slower than serial on the host it runs on:
+
+    * one (or zero) jobs: ``"serial"`` — nothing to amortize;
+    * a majority of jobs groupable by :func:`batch_key`: ``"batch"`` —
+      lock-step vectorization wins even on one core (measured ≥2x on the
+      smoke bench) and batches of ≥2 amortize its setup;
+    * otherwise ``"process"``, but only when both the resolved worker
+      count and ``os.cpu_count()`` exceed 1 — a process pool on a
+      single-core host loses outright to the serial loop;
+    * else ``"serial"``.
+    """
+    jobs = list(jobs)
+    workers = resolve_workers(workers)
+    if len(jobs) <= 1:
+        return "serial"
+    batchable = sum(1 for job in jobs if batch_key(job) is not None)
+    if 2 * batchable >= len(jobs):
+        return "batch"
+    if workers > 1 and (os.cpu_count() or 1) > 1 and len(jobs) >= 4:
+        return "process"
+    return "serial"
 
 
 def resolve_workers(workers: object = None) -> int:
@@ -113,6 +149,7 @@ def run_sessions(
     timeout_s: object = None,
     backend: object = None,
     batch_size: object = None,
+    precision: object = None,
 ) -> list:
     """Execute ``jobs`` and return their traces **in job order**.
 
@@ -126,14 +163,29 @@ def run_sessions(
       workers).
     * ``timeout_s`` — per-job timeout (default ``REPRO_JOB_TIMEOUT_S`` or
       600 s); a timed-out or crashed job is retried once in-process.
-    * ``backend`` — see :func:`resolve_backend`.  Every backend returns
-      bit-identical traces; only the fan-out strategy differs.
+    * ``backend`` — see :func:`resolve_backend`.  Under the ``"exact"``
+      tier every backend returns bit-identical traces; only the fan-out
+      strategy differs.
     * ``batch_size`` — sessions per lock-step batch under the batch
       backend (:func:`~repro.exec.batch.resolve_batch_size`).
+    * ``precision`` — force a numeric tier on every job
+      (:func:`~repro.exec.jobs.resolve_precision`: explicit argument >
+      ``REPRO_PRECISION`` env > each job's own ``precision`` field).
     """
+    from dataclasses import replace
+
     jobs = list(jobs)
+    forced = resolve_precision(precision)
+    if forced is not None:
+        jobs = [
+            job if job.precision == forced else replace(job, precision=forced)
+            for job in jobs
+        ]
     backend = resolve_backend(backend)
     workers = resolve_workers(workers)
+    if backend == "auto":
+        backend = choose_backend(jobs, workers)
+        telemetry.ops("run.auto_backend", backend=backend)
     if cache is None:
         cache = default_cache()
     elif cache is False:
@@ -244,12 +296,49 @@ def _execute_batched(jobs, pending, results, factory, cache, batch_size):
                 results[index] = trace
                 if cache is not None:
                     cache.put(jobs[index], trace)
+            if jobs[chunk[0]].precision == "fast" and _certify_enabled():
+                _certify_group([jobs[index] for index in chunk], traces,
+                               factory, cache)
     for index in ungroupable:
         telemetry.ops("job.begin", index=index, fallback="serial")
         results[index] = jobs[index].execute(factory=factory)
         if cache is not None:
             cache.put(jobs[index], results[index])
         telemetry.ops("job.end", index=index)
+
+
+def _certify_enabled() -> bool:
+    """Whether ``REPRO_CERTIFY`` asks for runtime equivalence certification."""
+    return os.environ.get("REPRO_CERTIFY", "").strip().lower() in {
+        "1", "true", "yes", "on",
+    }
+
+
+def _certify_group(group_jobs, fast_traces, factory, cache) -> None:
+    """Re-run a fast batch group exactly and emit its equivalence certificate.
+
+    Certification mode (``REPRO_CERTIFY=1``) trades throughput for proof:
+    every fast group is re-simulated through the serial exact runner, the
+    per-field errors are measured against the static ``certs/numeric/``
+    bounds, and the certificate lands next to the group's first cache
+    entry (``<key>.equiv.json``).  A certificate whose measured error
+    exceeds its cited bound fails the run loudly *after* the certificate
+    is written, so the evidence survives the crash.
+    """
+    from dataclasses import replace
+
+    from .equivalence import certify_traces, require, write_certificate
+
+    exact_traces = [
+        replace(job, precision="exact").execute(factory=factory)
+        for job in group_jobs
+    ]
+    cert = certify_traces(exact_traces, fast_traces)
+    if cache is not None:
+        cache.root.mkdir(parents=True, exist_ok=True)
+        write_certificate(cert, cache.root / f"{group_jobs[0].key()}.equiv.json")
+    telemetry.ops("batch.certified", ok=bool(cert["ok"]), size=len(group_jobs))
+    require(cert)
 
 
 def _result_or_retry(future, job: SessionJob, factory, timeout_s: float) -> Trace:

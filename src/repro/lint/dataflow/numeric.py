@@ -137,13 +137,16 @@ _SITE_LABELS = {
 _SCOPE_SUFFIXES = (
     "machine/power.py",
     "machine/sensors.py",
+    "machine/machine.py",
     "control/controller.py",
     "control/fixedpoint.py",
     "exec/batch.py",
+    "exec/fast.py",
     "core/runtime.py",
     "core/maya.py",
     "defenses/base.py",
     "defenses/designs.py",
+    "workloads/phases.py",
 )
 
 

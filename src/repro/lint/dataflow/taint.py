@@ -58,8 +58,9 @@ _SOURCE_TOKENS = frozenset({"activity", "activities", "secret", "secrets"})
 #: Exact names of raw sensor-sample values (pre-declassification).
 _SOURCE_NAMES = frozenset({"tick_powers"})
 
-#: The sanctioned declassifier: windowed energy measurement.
-DECLASSIFIER_NAMES = frozenset({"measure_window"})
+#: The sanctioned declassifiers: windowed energy measurement, in its
+#: per-session and batched (row-per-session, bit-identical) forms.
+DECLASSIFIER_NAMES = frozenset({"measure_window", "measure_windows"})
 
 #: Calls that commit actuator commands (plus the settings constructor).
 _ACTUATOR_CALLS = frozenset(

@@ -1,6 +1,12 @@
 """Mask generators (Section IV-C) and the Table II property analyzer."""
 
-from .base import NHOLD_RANGE, MaskGenerator, SegmentedMask, next_targets
+from .base import (
+    NHOLD_RANGE,
+    MaskGenerator,
+    SegmentedMask,
+    next_targets,
+    next_targets_fast,
+)
 from .generators import (
     MASK_FAMILIES,
     ConstantMask,
@@ -17,6 +23,7 @@ __all__ = [
     "MaskGenerator",
     "SegmentedMask",
     "next_targets",
+    "next_targets_fast",
     "MASK_FAMILIES",
     "ConstantMask",
     "GaussianMask",

@@ -189,6 +189,7 @@ _IDENTITY_FIELDS = (
     "max_duration_s",
     "tail_s",
     "record_temperature",
+    "precision",
 )
 
 
@@ -231,6 +232,7 @@ def job_identity(job) -> str:
         max_duration_s=job.max_duration_s,
         tail_s=job.tail_s,
         record_temperature=job.record_temperature,
+        precision=getattr(job, "precision", "exact"),
     )
 
 
@@ -516,6 +518,7 @@ def session_begin(
     max_duration_s,
     tail_s,
     record_temperature,
+    precision: str = "exact",
     engine: str = "run_session",
 ) -> None:
     """Open the ambient session channel (no-op when recording is off).
@@ -543,6 +546,7 @@ def session_begin(
             max_duration_s=max_duration_s,
             tail_s=tail_s,
             record_temperature=record_temperature,
+            precision=precision,
         )
     )
 

@@ -56,9 +56,9 @@ class TestResolveBackend:
         assert resolve_backend() == "batch"
         assert resolve_backend("") == "batch"  # "" = unset, defer to env
 
-    def test_default_is_process(self, monkeypatch):
+    def test_default_is_auto(self, monkeypatch):
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
-        assert resolve_backend() == "process"
+        assert resolve_backend() == "auto"
 
     def test_unknown_backend_raises(self, monkeypatch):
         with pytest.raises(ValueError, match="unknown backend"):

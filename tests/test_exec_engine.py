@@ -73,9 +73,12 @@ class TestCacheIntegration:
         cache = TraceCache(root=tmp_path)
         jobs = batch_jobs(n_runs=1)
         # Prime only the second job: the engine must interleave the cached
-        # and freshly-simulated traces back into submission order.
+        # and freshly-simulated traces back into submission order.  The
+        # tier is pinned because the primed key hashes the job's own
+        # precision field — an ambient REPRO_PRECISION would rewrite the
+        # jobs and (correctly) miss the primed entry.
         cache.put(jobs[1], jobs[1].execute())
-        traces = run_sessions(jobs, workers=1, cache=cache)
+        traces = run_sessions(jobs, workers=1, cache=cache, precision="exact")
         assert [t.workload for t in traces] == ["volrend", "water_nsquared"]
         assert cache.hits == 1
 

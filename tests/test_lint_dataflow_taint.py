@@ -87,7 +87,7 @@ class TestSourceTreeGate:
         cert = report.certificate
         assert cert["ok"] is True
         assert cert["violations"] == []
-        assert cert["policy"]["declassifiers"] == ["measure_window"]
+        assert cert["policy"]["declassifiers"] == ["measure_window", "measure_windows"]
 
     def test_certificate_covers_real_sinks(self):
         cert = taint_engine().run_paths([PACKAGE_DIR]).certificate

@@ -50,7 +50,9 @@ ENTRY_POINTS = {
     "MayaDefense.decide_fleet",
 }
 
-SALT_PACKAGES = ["control", "core", "defenses", "machine", "masks", "workloads"]
+SALT_PACKAGES = [
+    "control", "core", "defenses", "exec/fast", "machine", "masks", "workloads",
+]
 
 
 def purity_engine():
@@ -234,7 +236,13 @@ class TestCertificates:
     def test_waivers_are_enumerated_with_reasons(self):
         certs = self.certs()
         waived = {w["module"]: w["reason"] for w in certs["execute_job"]["waivers"]}
-        assert set(waived) == {"repro", "repro.exec.jobs", "repro.telemetry"}
+        # repro.exec.batch joined the execute_job closure when fast-tier
+        # jobs started routing execute() through the batched runner; it
+        # stays waived (not salted) under the exact-tier bit-identity
+        # contract, while the fast kernels themselves are salted.
+        assert set(waived) == {
+            "repro", "repro.exec.batch", "repro.exec.jobs", "repro.telemetry",
+        }
         assert "code_salt()" in waived["repro.exec.jobs"]
         batched = {
             w["module"]: w["reason"]
@@ -246,7 +254,8 @@ class TestCertificates:
     def test_job_key_accounts_for_every_field(self):
         job_key = self.certs()["execute_job"]["job_key"]
         assert job_key["class"] == "SessionJob"
-        assert len(job_key["fields"]) == 15
+        assert len(job_key["fields"]) == 16
+        assert "precision" in job_key["fields"]
         assert job_key["hashed"] == job_key["fields"]
         assert job_key["missing"] == []
 
