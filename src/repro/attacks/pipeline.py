@@ -24,7 +24,7 @@ import numpy as np
 
 from .. import telemetry
 from ..defenses.designs import DefenseFactory
-from ..exec import SessionJob, run_sessions
+from ..exec import SessionJob, record_run, run_sessions
 from ..machine import OutletMeter, PlatformSpec, RaplSensor, Trace, spawn
 from .features import FeatureConfig, TraceFeaturizer, segment_trace
 from .metrics import ConfusionResult, confusion_matrix
@@ -312,4 +312,19 @@ def run_attack(
         precision=precision,
     )
     sampled = sample_runs(scenario, runs)
-    return train_and_evaluate(scenario, sampled)
+    outcome = train_and_evaluate(scenario, sampled)
+    # Bind the outcome to its inputs in the run registry (no-op unless
+    # REPRO_REGISTRY is on).
+    record_run(
+        kind="attack",
+        name=scenario.name,
+        jobs=scenario_jobs(scenario, factory),
+        results={
+            "average_accuracy": outcome.average_accuracy,
+            "chance_accuracy": outcome.chance_accuracy,
+            "n_train": outcome.n_train,
+            "n_val": outcome.n_val,
+            "n_test": outcome.n_test,
+        },
+    )
+    return outcome

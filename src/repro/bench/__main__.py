@@ -32,11 +32,18 @@ def main(argv: "list[str] | None" = None) -> int:
         "--check", action="store_true",
         help="fail unless the parallel leg hits the speedup floor "
         "(multi-core hosts), the batched/fast/auto legs clear their own "
-        "floors, and the cache replay hits every session",
+        "floors, the cache replay hits every session, and the packed-group "
+        "store replay clears its floor",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent root for the cached-replay leg and the store "
+        "micro-bench (default: a temporary directory)",
     )
     args = parser.parse_args(argv)
     report = run_bench(
-        out_path=args.out, smoke=args.smoke, workers=args.workers, check=args.check,
+        out_path=args.out, smoke=args.smoke, workers=args.workers,
+        check=args.check, cache_dir=args.cache_dir,
     )
     json.dump(report, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")

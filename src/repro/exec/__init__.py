@@ -15,7 +15,13 @@ from .batch import (
     execute_jobs_batched,
     resolve_batch_size,
 )
-from .cache import DEFAULT_CACHE_DIR, TraceCache, default_cache
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    LAYOUT_VERSION,
+    PACK_SCHEMA,
+    TraceCache,
+    default_cache,
+)
 from .engine import (
     BACKENDS,
     choose_backend,
@@ -40,11 +46,23 @@ from .jobs import (
     register_factory,
     resolve_precision,
 )
+from .registry import (
+    MANIFEST_SCHEMA,
+    RunRegistry,
+    default_registry,
+    record_run,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "LAYOUT_VERSION",
+    "PACK_SCHEMA",
     "TraceCache",
     "default_cache",
+    "MANIFEST_SCHEMA",
+    "RunRegistry",
+    "default_registry",
+    "record_run",
     "BACKENDS",
     "BatchedMachine",
     "batch_key",

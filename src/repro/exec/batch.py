@@ -33,6 +33,14 @@ Jobs that cannot run lock-step — completion-mode sessions (``duration_s
 is None``, the loop length depends on per-session progress) and
 temperature-recording sessions — fall back to the serial runner; see
 :func:`batch_key`.
+
+**Shape contract.**  Because a lock-step group shares one ``batch_key``
+(same duration, tick and interval grid), every trace it returns has
+identical ``power_w``/``measured_w``/``target_w``/``settings`` shapes.
+The trace store relies on this: :meth:`TraceCache.put_many
+<repro.exec.cache.TraceCache.put_many>` stacks a group's traces into a
+single packed ``.npz`` entry, which is only possible when the shapes
+line up row-for-row.
 """
 
 from __future__ import annotations

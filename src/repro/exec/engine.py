@@ -198,14 +198,15 @@ def run_sessions(
         workers=workers,
         cached=cache is not None,
     )
-    results: list = [None] * len(jobs)
+    # One bulk lookup for the whole run: a single journal refresh (and a
+    # single LRU-touch append) covers every job, and packed group entries
+    # are opened once per group rather than once per session.
+    results = cache.get_many(jobs) if cache is not None else [None] * len(jobs)
     pending: list = []
-    for index, job in enumerate(jobs):
-        trace = cache.get(job) if cache is not None else None
+    for index, trace in enumerate(results):
         if trace is None:
             pending.append(index)
         else:
-            results[index] = trace
             telemetry.ops("job.cached", index=index)
 
     telemetry.count("exec.jobs.total", len(jobs))
@@ -294,8 +295,10 @@ def _execute_batched(jobs, pending, results, factory, cache, batch_size):
             )
             for index, trace in zip(chunk, traces):
                 results[index] = trace
-                if cache is not None:
-                    cache.put(jobs[index], trace)
+            if cache is not None:
+                # One bulk write per lock-step group: the store packs the
+                # whole chunk into a single group entry.
+                cache.put_many([jobs[index] for index in chunk], traces)
             if jobs[chunk[0]].precision == "fast" and _certify_enabled():
                 _certify_group([jobs[index] for index in chunk], traces,
                                factory, cache)
@@ -321,13 +324,14 @@ def _certify_group(group_jobs, fast_traces, factory, cache) -> None:
     every fast group is re-simulated through the serial exact runner, the
     per-field errors are measured against the static ``certs/numeric/``
     bounds, and the certificate lands next to the group's first cache
-    entry (``<key>.equiv.json``).  A certificate whose measured error
+    entry (``<key>.equiv.json`` in the key's shard, charged to the
+    entry's size accounting).  A certificate whose measured error
     exceeds its cited bound fails the run loudly *after* the certificate
     is written, so the evidence survives the crash.
     """
     from dataclasses import replace
 
-    from .equivalence import certify_traces, require, write_certificate
+    from .equivalence import certify_traces, require
 
     exact_traces = [
         replace(job, precision="exact").execute(factory=factory)
@@ -335,8 +339,7 @@ def _certify_group(group_jobs, fast_traces, factory, cache) -> None:
     ]
     cert = certify_traces(exact_traces, fast_traces)
     if cache is not None:
-        cache.root.mkdir(parents=True, exist_ok=True)
-        write_certificate(cert, cache.root / f"{group_jobs[0].key()}.equiv.json")
+        cache.put_certificate(group_jobs[0], cert)
     telemetry.ops("batch.certified", ok=bool(cert["ok"]), size=len(group_jobs))
     require(cert)
 

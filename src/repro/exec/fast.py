@@ -69,7 +69,9 @@ def run_jobs_fast(
     Partitions the fleet by defense kind: sessions under constant-settings
     defenses take the whole-session path, the rest the per-interval
     lock-step path.  Both sub-fleets share the group's grid parameters
-    (guaranteed by :func:`~repro.exec.batch.batch_key`).
+    (guaranteed by :func:`~repro.exec.batch.batch_key`), so the returned
+    traces share array shapes — the property the trace store's packed
+    group entries (one stacked ``.npz`` per group) depend on.
     """
     from .batch import build_fleet, open_channels
 

@@ -237,7 +237,14 @@ class SessionJob:
         return payload
 
     def key(self) -> str:
-        """Stable content address of this job, salted with the code digest."""
+        """Stable content address of this job, salted with the code digest.
+
+        The 64-hex-digit address is also the job's storage identity: the
+        sharded trace store (:mod:`repro.exec.cache`) buckets entries by
+        its first two digits, and run-registry manifests
+        (:mod:`repro.exec.registry`) cite it to bind results to inputs.
+        sha256's uniformity keeps the 256 shard buckets balanced.
+        """
         digest = hashlib.sha256()
         digest.update(code_salt().encode())
         digest.update(b"\x1f")

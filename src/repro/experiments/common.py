@@ -7,7 +7,7 @@ import numpy as np
 from ..attacks.mlp import MLPConfig
 from ..attacks.pipeline import AttackScenario
 from ..defenses.designs import DefenseFactory
-from ..exec import SessionJob, run_sessions
+from ..exec import SessionJob, record_run, run_sessions
 from ..machine import PlatformSpec, RaplSensor, Trace, spawn
 from ..workloads import PARSEC_APPS
 from .config import ExperimentScale
@@ -111,7 +111,16 @@ def record_traces(
         )
         for run in range(n_runs)
     ]
-    return run_sessions(jobs, workers=workers, cache=cache, factory=factory)
+    traces = run_sessions(jobs, workers=workers, cache=cache, factory=factory)
+    # Bind the recorded group to its inputs in the run registry (no-op
+    # unless REPRO_REGISTRY is on).
+    record_run(
+        kind="traces",
+        name=f"{tag}/{defense}/{workload_name}",
+        jobs=jobs,
+        results={"n_runs": int(n_runs), "seed": int(seed)},
+    )
+    return traces
 
 
 def sample_rapl(

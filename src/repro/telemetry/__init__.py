@@ -616,35 +616,44 @@ def write_metrics() -> None:
 # --------------------------------------------------------------------------
 
 
-def store_session_events(sidecar_path: Path, job) -> None:
-    """Copy a just-executed job's session file next to its cache entry."""
+def store_session_events(sidecar_path: Path, job) -> int:
+    """Copy a just-executed job's session file next to its cache entry.
+
+    Returns the number of sidecar bytes written (0 when recording is off
+    or the session left no stream) so the trace store can charge them to
+    the entry's size accounting without re-statting the file.
+    """
     recorder = get_recorder()
     if not recorder.enabled:
-        return
+        return 0
     source = recorder.session_path(job_identity(job))
     try:
         data = source.read_bytes()
     except OSError:
-        return
+        return 0
     _atomic_write_bytes(Path(sidecar_path), data)
+    return len(data)
 
 
-def restore_session_events(sidecar_path: Path, job) -> None:
+def restore_session_events(sidecar_path: Path, job) -> int:
     """Replay a cache hit's sidecar into the telemetry directory.
 
     The sidecar is a byte copy of the session file the original execution
     produced, so a cached run's telemetry is byte-identical to a fresh
     one (the manifest records the *original* execution's engine).
+    Returns the number of bytes replayed (0 when recording is off or the
+    entry has no sidecar).
     """
     recorder = get_recorder()
     if not recorder.enabled:
-        return
+        return 0
     try:
         data = Path(sidecar_path).read_bytes()
     except OSError:
-        return
+        return 0
     _atomic_write_bytes(recorder.session_path(job_identity(job)), data)
     recorder.metrics.count("telemetry.sessions.replayed")
+    return len(data)
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:

@@ -1,4 +1,4 @@
-"""Tests for repro.exec.cache (content-addressed trace store) and its CLI."""
+"""Tests for repro.exec.cache (sharded content-addressed trace store) and its CLI."""
 
 import json
 
@@ -16,6 +16,11 @@ def tiny_job(run=0, duration_s=0.5):
         run_id=("cache-test", run),
         duration_s=duration_s,
     )
+
+
+def shard_files(root, pattern="*.npz"):
+    """Entry/sidecar files under the shard tree (sorted for stability)."""
+    return sorted((root / "shards").rglob(pattern))
 
 
 class TestRoundTrip:
@@ -44,7 +49,17 @@ class TestRoundTrip:
         cache = TraceCache(root=tmp_path)
         job = tiny_job()
         cache.put(job, job.execute())
-        assert not list(tmp_path.glob(".*.tmp"))
+        assert not list(tmp_path.rglob(".*.tmp"))
+
+    def test_entries_land_in_prefix_shards(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        cache.put(job, job.execute())
+        key = job.key()
+        expected = tmp_path / "shards" / key[:2] / f"{key}.npz"
+        assert expected.is_file()
+        assert cache._path(job) == expected
+        assert (tmp_path / "journal.jsonl").is_file()
 
 
 class TestEviction:
@@ -153,11 +168,321 @@ class TestAccounting:
             job = tiny_job()
             job_trace = job.execute()
             cache.put(job, job_trace)
-            assert list((tmp_path / "cache").glob("*.events.jsonl"))
+            assert shard_files(tmp_path / "cache", "*.events.jsonl")
             cache.clear()
-            assert not list((tmp_path / "cache").glob("*.events.jsonl"))
+            assert not shard_files(tmp_path / "cache", "*.events.jsonl")
         finally:
             telemetry.set_recorder(None)
+
+    def test_clear_removes_equivalence_certificates(self, tmp_path):
+        # Regression: certificates written beside entries by the fast tier
+        # must not be orphaned by clear().
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        cache.put(job, job.execute())
+        cert = cache.certificate_path(job)
+        cert.write_text('{"ok": true}\n')
+        cache.clear()
+        assert not cert.exists()
+        assert not shard_files(tmp_path, "*.equiv.json")
+
+    def test_evict_removes_equivalence_certificates(self, tmp_path):
+        # Regression: _evict() must delete <key>.equiv.json with the entry.
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(3)]
+        for job in jobs:
+            cache.put(job, job.execute())
+        victim_cert = cache.certificate_path(jobs[0])
+        victim_cert.write_text('{"ok": true}\n')
+        entry_size = cache._path(jobs[0]).stat().st_size
+        cache.max_bytes = int(entry_size * 1.5)
+        cache.put(jobs[1], jobs[1].execute())  # trigger eviction of jobs[0]
+        assert cache.evictions >= 1
+        assert not cache._path(jobs[0]).exists()
+        assert not victim_cert.exists()
+
+    def test_sidecar_bytes_are_accounted(self, tmp_path):
+        from repro import telemetry
+        from repro.telemetry import TelemetryRecorder
+
+        job = tiny_job()
+        trace = job.execute()
+        bare = TraceCache(root=tmp_path / "bare")
+        bare.put(job, trace)
+        npz_only = bare.stats()["total_bytes"]
+
+        telemetry.set_recorder(TelemetryRecorder(root=tmp_path / "telemetry"))
+        try:
+            with_sidecars = TraceCache(root=tmp_path / "sidecars")
+            # Execute under the recorder so a session stream exists to copy.
+            with_sidecars.put(job, job.execute())
+        finally:
+            telemetry.set_recorder(None)
+        accounted = with_sidecars.stats()["total_bytes"]
+        sidecar = shard_files(tmp_path / "sidecars", "*.events.jsonl")
+        assert len(sidecar) == 1 and sidecar[0].stat().st_size > 0
+        assert accounted >= npz_only + sidecar[0].stat().st_size
+
+    def test_certificate_bytes_join_the_accounting(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        cache.put(job, job.execute())
+        before = cache.stats()["total_bytes"]
+        cache.put_certificate(job, {"schema": "test", "ok": True})
+        after = cache.stats()["total_bytes"]
+        cert_size = cache.certificate_path(job).stat().st_size
+        assert cert_size > 0
+        assert after == before + cert_size
+
+
+class TestPackedGroups:
+    def test_put_many_packs_a_group(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(3)]
+        traces = [job.execute() for job in jobs]
+        cache.put_many(jobs, traces)
+        packs = shard_files(tmp_path, "pack-*.npz")
+        assert len(packs) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["groups"] == 1
+        assert stats["sessions"] == 3
+
+    def test_packed_round_trip_is_bit_identical(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(3)]
+        traces = [job.execute() for job in jobs]
+        cache.put_many(jobs, traces)
+        for job, trace in zip(jobs, traces):
+            loaded = cache.get(job)
+            assert loaded is not None and loaded.equals(trace)
+
+    def test_get_many_matches_per_session_gets(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(3)]
+        traces = [job.execute() for job in jobs]
+        cache.put_many(jobs, traces)
+        fresh = TraceCache(root=tmp_path)
+        bulk = fresh.get_many(jobs + [tiny_job(run=99)])
+        assert bulk[-1] is None and fresh.misses == 1
+        assert all(got.equals(want) for got, want in zip(bulk, traces))
+        assert fresh.hits == 3
+
+    def test_packed_group_evicts_as_a_unit(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        group = [tiny_job(run=i) for i in range(2)]
+        cache.put_many(group, [job.execute() for job in group])
+        single = tiny_job(run=9)
+        cache.put(single, single.execute())
+        cache.max_bytes = cache._path(single).stat().st_size + 1
+        trigger = tiny_job(run=10)
+        cache.put(trigger, trigger.execute())
+        # The group (oldest) is gone entirely; both its keys now miss.
+        assert cache.get(group[0]) is None and cache.get(group[1]) is None
+        assert not shard_files(tmp_path, "pack-*.npz")
+
+    def test_put_many_unpacked_writes_per_session_entries(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(2)]
+        cache.put_many(jobs, [job.execute() for job in jobs], packed=False)
+        assert not shard_files(tmp_path, "pack-*.npz")
+        assert len(shard_files(tmp_path)) == 2
+        assert cache.stats()["groups"] == 0
+
+
+class TestJournal:
+    def test_fresh_handle_replays_journal_without_scanning(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(2)]
+        traces = [job.execute() for job in jobs]
+        for job, trace in zip(jobs, traces):
+            cache.put(job, trace)
+        fresh = TraceCache(root=tmp_path)
+        assert fresh.get(jobs[1]).equals(traces[1])
+        assert fresh.stats()["tree_scans"] == 0
+
+    def test_eviction_never_rescans_the_tree(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        jobs = [tiny_job(run=i) for i in range(3)]
+        for job in jobs:
+            cache.put(job, job.execute())
+        cache.max_bytes = cache._path(jobs[0]).stat().st_size * 2
+        cache.put(tiny_job(run=7), tiny_job(run=7).execute())
+        assert cache.evictions >= 1
+        assert cache.stats()["tree_scans"] == 0
+
+    def test_concurrent_handles_converge_through_the_journal(self, tmp_path):
+        writer = TraceCache(root=tmp_path)
+        reader = TraceCache(root=tmp_path)
+        job_a = tiny_job(run=0)
+        trace_a = job_a.execute()
+        writer.put(job_a, trace_a)
+        # The reader handle was opened before the write: it must pick the
+        # entry up by tailing the journal, not by rescanning.
+        assert reader.get(job_a).equals(trace_a)
+        assert reader.stats()["entries"] == 1
+        assert reader.stats()["tree_scans"] == 0
+
+    def test_missing_journal_recovers_with_one_scan(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        trace = job.execute()
+        cache.put(job, trace)
+        (tmp_path / "journal.jsonl").unlink()
+        recovered = TraceCache(root=tmp_path)
+        assert recovered.get(job).equals(trace)
+        stats = recovered.stats()
+        assert stats["entries"] == 1
+        assert stats["tree_scans"] == 1
+
+    def test_torn_journal_tail_is_tolerated(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        job = tiny_job()
+        trace = job.execute()
+        cache.put(job, trace)
+        with open(tmp_path / "journal.jsonl", "ab") as stream:
+            stream.write(b'{"op":"put","id":"torn')  # no newline: mid-crash
+        fresh = TraceCache(root=tmp_path)
+        assert fresh.get(job).equals(trace)
+        assert fresh.stats()["entries"] == 1
+
+
+class TestMigration:
+    def build_flat_layout(self, root, jobs, traces):
+        """A v1 flat cache directory, as PR 8 and earlier wrote it."""
+        root.mkdir(parents=True, exist_ok=True)
+        for job, trace in zip(jobs, traces):
+            trace.save_npz(root / f"{job.key()}.npz")
+
+    def test_flat_layout_migrates_and_serves_identical_traces(self, tmp_path):
+        jobs = [tiny_job(run=i) for i in range(3)]
+        traces = [job.execute() for job in jobs]
+        self.build_flat_layout(tmp_path, jobs, traces)
+        cache = TraceCache(root=tmp_path)
+        for job, trace in zip(jobs, traces):
+            loaded = cache.get(job)
+            assert loaded is not None and loaded.equals(trace)
+        assert cache.migrated == 3
+        assert not list(tmp_path.glob("*.npz"))  # moved into shards/
+        assert len(shard_files(tmp_path)) == 3
+
+    def test_migration_carries_and_replays_telemetry_sidecars(self, tmp_path):
+        from repro import telemetry
+        from repro.telemetry import TelemetryRecorder, job_identity
+
+        job = tiny_job()
+        trace = job.execute()
+        self.build_flat_layout(tmp_path / "cache", [job], [trace])
+        sidecar_bytes = b'{"type": "event", "ev": "interval"}\n'
+        (tmp_path / "cache" / f"{job.key()}.events.jsonl").write_bytes(
+            sidecar_bytes
+        )
+        recorder = TelemetryRecorder(root=tmp_path / "telemetry")
+        telemetry.set_recorder(recorder)
+        try:
+            cache = TraceCache(root=tmp_path / "cache")
+            assert cache.get(job).equals(trace)
+            replayed = recorder.session_path(job_identity(job))
+            assert replayed.read_bytes() == sidecar_bytes
+        finally:
+            telemetry.set_recorder(None)
+        migrated = shard_files(tmp_path / "cache", "*.events.jsonl")
+        assert len(migrated) == 1 and migrated[0].read_bytes() == sidecar_bytes
+
+    def test_migrated_certificates_move_into_shards(self, tmp_path):
+        job = tiny_job()
+        trace = job.execute()
+        self.build_flat_layout(tmp_path, [job], [trace])
+        (tmp_path / f"{job.key()}.equiv.json").write_text('{"ok": true}\n')
+        cache = TraceCache(root=tmp_path)
+        assert cache.get(job) is not None
+        assert cache.certificate_path(job).is_file()
+        assert not (tmp_path / f"{job.key()}.equiv.json").exists()
+
+    def test_migration_disabled_is_a_cold_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MIGRATE", "0")
+        job = tiny_job()
+        trace = job.execute()
+        self.build_flat_layout(tmp_path, [job], [trace])
+        cache = TraceCache(root=tmp_path)
+        assert cache.get(job) is None  # cold miss, flat file untouched
+        assert (tmp_path / f"{job.key()}.npz").is_file()
+        # An explicit migrate() still works and upgrades the layout.
+        assert cache.migrate() == 1
+        assert cache.get(job).equals(trace)
+
+    def test_migration_preserves_lru_order(self, tmp_path):
+        import os
+        import time
+
+        jobs = [tiny_job(run=i) for i in range(3)]
+        traces = [job.execute() for job in jobs]
+        self.build_flat_layout(tmp_path, jobs, traces)
+        # jobs[1] is the oldest on disk, jobs[0] the freshest.
+        now = time.time()
+        order = [jobs[1], jobs[2], jobs[0]]
+        for age, job in enumerate(order):
+            stamp = now - (len(order) - age) * 100
+            os.utime(tmp_path / f"{job.key()}.npz", (stamp, stamp))
+        cache = TraceCache(root=tmp_path)
+        cache.migrate()
+        lru_names = [path.stem for path, _ in cache.entries()]
+        assert lru_names == [job.key() for job in order]
+
+
+class TestMerge:
+    def test_export_import_round_trip(self, tmp_path):
+        source = TraceCache(root=tmp_path / "src")
+        jobs = [tiny_job(run=i) for i in range(2)]
+        traces = [job.execute() for job in jobs]
+        source.put_many(jobs, traces)
+        archive = tmp_path / "shards.tar"
+        exported = source.export_archive(archive)
+        assert exported["files"] >= 1
+        target = TraceCache(root=tmp_path / "dst")
+        report = target.import_archive(archive)
+        assert report["entries"] == 1  # one packed group
+        for job, trace in zip(jobs, traces):
+            assert target.get(job).equals(trace)
+
+    def test_import_skips_existing_keys(self, tmp_path):
+        source = TraceCache(root=tmp_path / "src")
+        job = tiny_job()
+        source.put(job, job.execute())
+        archive = tmp_path / "shards.tar"
+        source.export_archive(archive)
+        target = TraceCache(root=tmp_path / "dst")
+        target.put(job, job.execute())
+        report = target.import_archive(archive)
+        assert report["entries"] == 0
+        assert report["skipped"] >= 1
+
+    def test_export_is_deterministic(self, tmp_path):
+        cache = TraceCache(root=tmp_path / "store")
+        jobs = [tiny_job(run=i) for i in range(2)]
+        cache.put_many(jobs, [job.execute() for job in jobs])
+        first = tmp_path / "a.tar"
+        second = tmp_path / "b.tar"
+        cache.export_archive(first)
+        cache.export_archive(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_import_rejects_traversal_members(self, tmp_path):
+        import io
+        import tarfile
+
+        archive = tmp_path / "evil.tar"
+        with tarfile.open(archive, "w") as tar:
+            for name in ("../escape.npz", "shards/../../escape.npz",
+                         "not-shards/ab/x.npz"):
+                data = b"x"
+                info = tarfile.TarInfo(name)
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+        target = TraceCache(root=tmp_path / "dst")
+        report = target.import_archive(archive)
+        assert report["files"] == 0 and report["entries"] == 0
+        assert not (tmp_path / "escape.npz").exists()
 
 
 class TestCli:
@@ -168,6 +493,8 @@ class TestCli:
         assert cache_cli(["--cache", "stats", "--dir", str(tmp_path)]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["entries"] == 1
+        assert report["layout"] == "sharded-v2"
+        assert report["tree_scans"] == 0
 
     def test_clear_command(self, tmp_path, capsys):
         cache = TraceCache(root=tmp_path)
@@ -176,4 +503,32 @@ class TestCli:
         assert cache_cli(["--cache", "clear", "--dir", str(tmp_path)]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["removed"] == 1
+        assert not list(tmp_path.rglob("*.npz"))
+
+    def test_migrate_command(self, tmp_path, capsys):
+        job = tiny_job()
+        job.execute().save_npz(tmp_path / f"{job.key()}.npz")
+        assert cache_cli(["--cache", "migrate", "--dir", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["migrated"] == 1
         assert not list(tmp_path.glob("*.npz"))
+
+    def test_export_import_commands(self, tmp_path, capsys):
+        cache = TraceCache(root=tmp_path / "src")
+        job = tiny_job()
+        trace = job.execute()
+        cache.put(job, trace)
+        archive = tmp_path / "shards.tar"
+        assert cache_cli(["--cache", "export", "--dir", str(tmp_path / "src"),
+                          "--archive", str(archive)]) == 0
+        exported = json.loads(capsys.readouterr().out)
+        assert exported["files"] >= 1
+        assert cache_cli(["--cache", "import", "--dir", str(tmp_path / "dst"),
+                          "--archive", str(archive)]) == 0
+        imported = json.loads(capsys.readouterr().out)
+        assert imported["entries"] == 1
+        assert TraceCache(root=tmp_path / "dst").get(job).equals(trace)
+
+    def test_export_requires_archive(self, tmp_path, capsys):
+        assert cache_cli(["--cache", "export", "--dir", str(tmp_path)]) == 2
+        capsys.readouterr()
