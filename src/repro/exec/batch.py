@@ -50,6 +50,7 @@ import os
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import profile
 from ..defenses.base import decide_batch
 from ..defenses.designs import DefenseFactory
 from ..machine import (
@@ -261,8 +262,9 @@ def execute_jobs_batched(
 
         return run_jobs_fast(jobs, factory)
 
-    machines, defenses, sensors = build_fleet(jobs, factory)
-    channels = open_channels(jobs, machines, defenses, engine="lockstep")
+    with profile.span("fleet.build", sessions=len(jobs)):
+        machines, defenses, sensors = build_fleet(jobs, factory)
+        channels = open_channels(jobs, machines, defenses, engine="lockstep")
 
     template = jobs[0]
     traces = _run_lockstep(
@@ -309,8 +311,15 @@ def _run_lockstep(
 
     settings = [defense.initial_settings() for defense in defenses]
     for interval_index in range(interval_cap):
-        window_w = batched_machine.advance(interval_s, settings)
-        measurements_w = batched_sensor.measure_windows(window_w, tick_s)
+        # Kernel spans cover the three vectorized hot paths: the power
+        # model (activity gather + row-wise AR(1) lfilter), the windowed
+        # RAPL reduction, and the batched control decision (mask
+        # transcendentals + the per-session Equation-1 matmul).  The
+        # spans observe wall-clock only — they never feed back (MAYA033).
+        with profile.span("kernel.power", interval=interval_index):
+            window_w = batched_machine.advance(interval_s, settings)
+        with profile.span("kernel.measure", interval=interval_index):
+            measurements_w = batched_sensor.measure_windows(window_w, tick_s)
 
         tick_start = interval_index * ticks_per_interval
         power_w[:, tick_start:tick_start + ticks_per_interval] = window_w
@@ -322,7 +331,8 @@ def _run_lockstep(
             settings_log[row, interval_index, 2] = applied.balloon_level
 
         applied_settings = settings
-        settings = decide_batch(defenses, measurements_w)
+        with profile.span("kernel.decide", interval=interval_index):
+            settings = decide_batch(defenses, measurements_w)
         if channels is not None:
             for row, channel in enumerate(channels):
                 channel.interval(

@@ -89,6 +89,7 @@ import numpy as np
 
 from .. import telemetry
 from ..machine import Trace
+from ..telemetry import profile
 
 __all__ = [
     "TraceCache",
@@ -166,6 +167,9 @@ class TraceCache:
         self._journal_pos = 0
         self._journal_ino: object = None
         self._records_seen = 0
+        # Lifetime compaction count, carried in the journal's "layout"
+        # header so fresh handles (and the stats CLI) see it.
+        self._compactions = 0
         flag = os.environ.get("REPRO_CACHE_MIGRATE", "").strip().lower()
         self._migrate_on_open = flag not in _FALSY
 
@@ -212,6 +216,7 @@ class TraceCache:
         self._total_bytes = 0
         self._journal_pos = 0
         self._records_seen = 0
+        self._compactions = 0
         if self.journal_path.is_file():
             self._replay()
         elif (self.root / _SHARDS).is_dir():
@@ -235,13 +240,14 @@ class TraceCache:
         except OSError:
             return
         end = data.rfind(b"\n") + 1
-        for line in data[:end].splitlines():
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue
-            self._apply(record)
-            self._records_seen += 1
+        with profile.span("cache.journal_replay", bytes=end):
+            for line in data[:end].splitlines():
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                self._apply(record)
+                self._records_seen += 1
         self._journal_pos += end
         self._journal_ino = (stat.st_dev, stat.st_ino)
 
@@ -261,6 +267,7 @@ class TraceCache:
             self._total_bytes = 0
             self._journal_pos = 0
             self._records_seen = 0
+            self._compactions = 0
             self._replay()
         elif stat.st_size > self._journal_pos:
             self._replay()
@@ -302,7 +309,13 @@ class TraceCache:
             self._entries.clear()
             self._by_key.clear()
             self._total_bytes = 0
-        # "layout" (genesis/compaction header) and unknown ops: ignored.
+        elif op == "layout":
+            # Genesis/compaction header: carries the cumulative compaction
+            # count so it survives the journal rewrite that produced it.
+            self._compactions = max(
+                self._compactions, int(record.get("compactions") or 0)
+            )
+        # Unknown ops: ignored.
 
     def _commit(self, records: list) -> None:
         """Append ``records`` to the journal, then converge by replay.
@@ -334,19 +347,23 @@ class TraceCache:
         """Rewrite the journal as one ``put`` per live entry (LRU order)."""
         if self._records_seen <= len(self._entries) + _COMPACT_SLACK:
             return
-        lines = [_dumps({"op": "layout", "version": LAYOUT_VERSION})]
+        lines = [_dumps({"op": "layout", "version": LAYOUT_VERSION,
+                         "compactions": self._compactions + 1})]
         for entry_id, (nbytes, keys) in self._entries.items():
             lines.append(_dumps({"op": "put", "id": entry_id,
                                  "bytes": nbytes, "keys": list(keys)}))
         data = ("\n".join(lines) + "\n").encode()
         tmp = self.journal_path.with_name(f".{_JOURNAL}.{os.getpid()}.tmp")
-        try:
-            tmp.write_bytes(data)
-            os.replace(tmp, self.journal_path)
-        except OSError:
-            return
-        finally:
-            tmp.unlink(missing_ok=True)
+        with profile.span("cache.compact", entries=len(self._entries)):
+            try:
+                tmp.write_bytes(data)
+                os.replace(tmp, self.journal_path)
+            except OSError:
+                return
+            finally:
+                tmp.unlink(missing_ok=True)
+        self._compactions += 1
+        telemetry.count("exec.cache.compactions")
         try:
             stat = self.journal_path.stat()
             self._journal_ino = (stat.st_dev, stat.st_ino)
@@ -489,10 +506,11 @@ class TraceCache:
         if _is_group(entry_id):
             pack = packs.get(entry_id)
             if pack is None:
-                try:
-                    pack = _Pack(self._entry_path(entry_id))
-                except (OSError, ValueError, KeyError):
-                    return None
+                with profile.span("cache.pack_read", key=entry_id):
+                    try:
+                        pack = _Pack(self._entry_path(entry_id))
+                    except (OSError, ValueError, KeyError):
+                        return None
                 packs[entry_id] = pack
             try:
                 return pack.trace_for(key)
@@ -534,6 +552,7 @@ class TraceCache:
         else:
             for job, trace in zip(jobs, traces):
                 records.append(self._put_single(job, trace))
+        telemetry.count("exec.cache.puts", len(records))
         self._commit([r for r in records if r is not None])
         self._evict()
 
@@ -568,7 +587,8 @@ class TraceCache:
         digest = hashlib.sha256("\x1f".join(keys).encode()).hexdigest()[:32]
         entry_id = f"g-{digest}"
         path = self._entry_path(entry_id)
-        self._atomic_npz(path, lambda tmp: _save_pack(tmp, keys, traces))
+        with profile.span("cache.pack_write", key=entry_id, sessions=len(keys)):
+            self._atomic_npz(path, lambda tmp: _save_pack(tmp, keys, traces))
         nbytes = _file_bytes(path)
         for job, key in zip(jobs, keys):
             nbytes += self._sidecar_bytes(job, key)
@@ -634,12 +654,13 @@ class TraceCache:
             victims.append(entry_id)
             projected -= self._entries[entry_id][0]
         records = []
-        for entry_id in victims:
-            self._delete_entry_files(entry_id)
-            records.append({"op": "evict", "id": entry_id})
-            self.evictions += 1
-            telemetry.count("exec.cache.evictions")
-        self._commit(records)
+        with profile.span("cache.evict", victims=len(victims)):
+            for entry_id in victims:
+                self._delete_entry_files(entry_id)
+                records.append({"op": "evict", "id": entry_id})
+                self.evictions += 1
+                telemetry.count("exec.cache.evictions")
+            self._commit(records)
 
     def stats(self) -> dict:
         self._refresh()
@@ -657,6 +678,34 @@ class TraceCache:
             "evictions": self.evictions,
             "tree_scans": self.tree_scans,
             "journal_records": self._records_seen,
+            "compactions": self._compactions,
+            "shards": self._shard_distribution(),
+        }
+
+    def _shard_distribution(self) -> dict:
+        """Entry-count spread over occupied shards, from journaled state.
+
+        Derived from ``_entries`` alone (no directory walk), so it costs
+        nothing beyond the refresh ``stats`` already performs.
+        """
+        per_shard: dict = {}
+        for entry_id in self._entries:
+            shard = self._shard_of(entry_id)
+            per_shard[shard] = per_shard.get(shard, 0) + 1
+        counts = sorted(per_shard.values())
+        if not counts:
+            return {"occupied": 0, "entries_min": 0,
+                    "entries_median": 0.0, "entries_max": 0}
+        middle = len(counts) // 2
+        if len(counts) % 2:
+            median = float(counts[middle])
+        else:
+            median = (counts[middle - 1] + counts[middle]) / 2.0
+        return {
+            "occupied": len(counts),
+            "entries_min": counts[0],
+            "entries_median": median,
+            "entries_max": counts[-1],
         }
 
     def clear(self) -> int:

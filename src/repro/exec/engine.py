@@ -29,12 +29,14 @@ serial path for every ``n`` and every backend ``b``.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from .. import telemetry
+from ..telemetry import profile
 from ..defenses.designs import DefenseFactory
 from ..machine import Trace
 from .batch import batch_key, execute_jobs_batched, resolve_batch_size
@@ -141,6 +143,23 @@ def _job_timeout_s(timeout_s: object) -> float:
     return float(env) if env else DEFAULT_JOB_TIMEOUT_S
 
 
+def _span_key(job: SessionJob):
+    """A job's content address as a span key — only computed when profiling.
+
+    ``SessionJob.key()`` hashes the job description; the guard keeps the
+    NullProfiler path at one attribute check per span site.
+    """
+    return job.key() if profile.enabled() else None
+
+
+def _chunk_span_key(chunk_jobs):
+    """Deterministic 16-hex digest over a chunk's job content addresses."""
+    if not profile.enabled():
+        return None
+    joined = "\x1f".join(job.key() for job in chunk_jobs)
+    return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+
 def run_sessions(
     jobs,
     workers: object = None,
@@ -198,41 +217,48 @@ def run_sessions(
         workers=workers,
         cached=cache is not None,
     )
-    # One bulk lookup for the whole run: a single journal refresh (and a
-    # single LRU-touch append) covers every job, and packed group entries
-    # are opened once per group rather than once per session.
-    results = cache.get_many(jobs) if cache is not None else [None] * len(jobs)
-    pending: list = []
-    for index, trace in enumerate(results):
-        if trace is None:
-            pending.append(index)
+    with profile.span("run", key=_chunk_span_key(jobs), jobs=len(jobs), backend=backend):
+        # One bulk lookup for the whole run: a single journal refresh (and
+        # a single LRU-touch append) covers every job, and packed group
+        # entries are opened once per group rather than once per session.
+        if cache is not None:
+            with profile.span("cache.lookup", jobs=len(jobs)):
+                results = cache.get_many(jobs)
         else:
-            telemetry.ops("job.cached", index=index)
+            results = [None] * len(jobs)
+        pending: list = []
+        for index, trace in enumerate(results):
+            if trace is None:
+                pending.append(index)
+            else:
+                telemetry.ops("job.cached", index=index)
 
-    telemetry.count("exec.jobs.total", len(jobs))
-    telemetry.count("exec.jobs.executed", len(pending))
-    if pending:
-        if backend == "batch":
-            _execute_batched(jobs, pending, results, factory, cache, batch_size)
-        elif backend == "serial" or workers <= 1 or len(pending) == 1:
-            for index in pending:
-                telemetry.ops("job.begin", index=index)
-                results[index] = jobs[index].execute(factory=factory)
-                if cache is not None:
-                    cache.put(jobs[index], results[index])
-                telemetry.ops("job.end", index=index)
-        else:
-            _execute_parallel(
-                jobs, pending, results, workers, factory, cache,
-                _job_timeout_s(timeout_s),
-            )
-    telemetry.ops(
-        "run.end",
-        jobs=len(jobs),
-        executed=len(pending),
-        hits=len(jobs) - len(pending),
-    )
-    telemetry.write_metrics()
+        telemetry.count("exec.jobs.total", len(jobs))
+        telemetry.count("exec.jobs.executed", len(pending))
+        if pending:
+            if backend == "batch":
+                _execute_batched(jobs, pending, results, factory, cache, batch_size)
+            elif backend == "serial" or workers <= 1 or len(pending) == 1:
+                for index in pending:
+                    telemetry.ops("job.begin", index=index)
+                    with profile.span("job", key=_span_key(jobs[index]), index=index):
+                        results[index] = jobs[index].execute(factory=factory)
+                        if cache is not None:
+                            with profile.span("cache.put"):
+                                cache.put(jobs[index], results[index])
+                    telemetry.ops("job.end", index=index)
+            else:
+                _execute_parallel(
+                    jobs, pending, results, workers, factory, cache,
+                    _job_timeout_s(timeout_s),
+                )
+        telemetry.ops(
+            "run.end",
+            jobs=len(jobs),
+            executed=len(pending),
+            hits=len(jobs) - len(pending),
+        )
+        telemetry.write_metrics()
     return results
 
 
@@ -252,9 +278,13 @@ def _execute_parallel(jobs, pending, results, workers, factory, cache, timeout_s
         # Collate strictly in submission (= job) order, never in completion
         # order: the output must not depend on worker scheduling (MAYA030).
         for index, future in futures:
-            results[index] = _result_or_retry(future, jobs[index], factory, timeout_s)
-            if cache is not None:
-                cache.put(jobs[index], results[index])
+            with profile.span("job.await", key=_span_key(jobs[index]), index=index):
+                results[index] = _result_or_retry(
+                    future, jobs[index], factory, timeout_s
+                )
+                if cache is not None:
+                    with profile.span("cache.put"):
+                        cache.put(jobs[index], results[index])
             telemetry.ops("job.done", index=index)
     finally:
         # Wait for worker teardown: on the happy path every future is done
@@ -284,29 +314,35 @@ def _execute_batched(jobs, pending, results, factory, cache, batch_size):
         else:
             groups.setdefault(key, []).append(index)
     for indices in groups.values():
-        for start in range(0, len(indices), batch_size):
-            chunk = indices[start:start + batch_size]
-            telemetry.ops("batch.group", size=len(chunk), indices=list(chunk))
-            telemetry.observe(
-                "exec.batch.group_size", len(chunk), telemetry.GROUP_SIZE_HIST_EDGES
-            )
-            traces = execute_jobs_batched(
-                [jobs[index] for index in chunk], factory=factory
-            )
-            for index, trace in zip(chunk, traces):
-                results[index] = trace
-            if cache is not None:
-                # One bulk write per lock-step group: the store packs the
-                # whole chunk into a single group entry.
-                cache.put_many([jobs[index] for index in chunk], traces)
-            if jobs[chunk[0]].precision == "fast" and _certify_enabled():
-                _certify_group([jobs[index] for index in chunk], traces,
-                               factory, cache)
+        group_jobs = [jobs[index] for index in indices]
+        with profile.span("group", key=_chunk_span_key(group_jobs), sessions=len(indices)):
+            for start in range(0, len(indices), batch_size):
+                chunk = indices[start:start + batch_size]
+                chunk_jobs = [jobs[index] for index in chunk]
+                telemetry.ops("batch.group", size=len(chunk), indices=list(chunk))
+                telemetry.observe(
+                    "exec.batch.group_size", len(chunk), telemetry.GROUP_SIZE_HIST_EDGES
+                )
+                with profile.span(
+                    "chunk", key=_chunk_span_key(chunk_jobs), sessions=len(chunk)
+                ):
+                    traces = execute_jobs_batched(chunk_jobs, factory=factory)
+                    for index, trace in zip(chunk, traces):
+                        results[index] = trace
+                    if cache is not None:
+                        # One bulk write per lock-step group: the store
+                        # packs the whole chunk into a single group entry.
+                        with profile.span("cache.put"):
+                            cache.put_many(chunk_jobs, traces)
+                if jobs[chunk[0]].precision == "fast" and _certify_enabled():
+                    _certify_group(chunk_jobs, traces, factory, cache)
     for index in ungroupable:
         telemetry.ops("job.begin", index=index, fallback="serial")
-        results[index] = jobs[index].execute(factory=factory)
-        if cache is not None:
-            cache.put(jobs[index], results[index])
+        with profile.span("job", key=_span_key(jobs[index]), index=index):
+            results[index] = jobs[index].execute(factory=factory)
+            if cache is not None:
+                with profile.span("cache.put"):
+                    cache.put(jobs[index], results[index])
         telemetry.ops("job.end", index=index)
 
 
@@ -357,4 +393,7 @@ def _result_or_retry(future, job: SessionJob, factory, timeout_s: float) -> Trac
         future.cancel()
         telemetry.ops("job.retry", reason=type(failure).__name__)
         telemetry.count("exec.jobs.retried")
-        return job.execute(factory=factory)
+        with profile.span(
+            "job.retry", key=_span_key(job), reason=type(failure).__name__
+        ):
+            return job.execute(factory=factory)

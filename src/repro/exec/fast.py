@@ -51,6 +51,7 @@ import numpy as np
 from ..defenses.base import decide_batch_fast
 from ..defenses.designs import DefenseFactory
 from ..machine import BatchedRaplSensor, RaplSensor, Trace, batch_window_power
+from ..telemetry import profile
 from .jobs import SessionJob
 
 __all__ = ["run_jobs_fast"]
@@ -78,8 +79,9 @@ def run_jobs_fast(
     jobs = list(jobs)
     if not jobs:
         return []
-    machines, defenses, sensors = build_fleet(jobs, factory)
-    channels = open_channels(jobs, machines, defenses, engine="fast")
+    with profile.span("fleet.build", sessions=len(jobs)):
+        machines, defenses, sensors = build_fleet(jobs, factory)
+        channels = open_channels(jobs, machines, defenses, engine="fast")
 
     constant_rows = [
         index for index, defense in enumerate(defenses) if defense.constant_settings
@@ -328,12 +330,14 @@ def _run_constant(jobs, machines, defenses, sensors, channels) -> list:
 
         activity = np.empty((n_sessions, n_ticks))
         core_fraction = np.empty((n_sessions, n_ticks))
-        for row, cursor in enumerate(cursors):
-            spans: list = []
-            cursor.advance_windows(n_int, ticks_per_interval, spans)
-            _materialize(spans, activity[row], core_fraction[row])
+        with profile.span("kernel.fast_forward", intervals=n_int):
+            for row, cursor in enumerate(cursors):
+                spans: list = []
+                cursor.advance_windows(n_int, ticks_per_interval, spans)
+                _materialize(spans, activity[row], core_fraction[row])
 
-        window_w = batch_window_power(models, activity, core_fraction, settings)
+        with profile.span("kernel.power", intervals=n_int):
+            window_w = batch_window_power(models, activity, core_fraction, settings)
         power_chunks.append(window_w)
         if template.record_temperature:
             temp_chunks.append(
@@ -348,15 +352,17 @@ def _run_constant(jobs, machines, defenses, sensors, channels) -> list:
         # exactly (reshape-sum and sequential-draw identities).
         duration = ticks_per_interval * tick_s
         quantum_j = RaplSensor.ENERGY_QUANTUM_J
-        energy_j = (
-            window_w.reshape(n_sessions, n_int, ticks_per_interval).sum(axis=2)
-            * tick_s
-        )
-        energy_j = np.round(energy_j / quantum_j) * quantum_j
-        noise_w = np.stack([
-            sensor._rng.normal(0.0, sensor.noise_w, size=n_int) for sensor in sensors
-        ])
-        measured_chunks.append(energy_j / duration + noise_w)
+        with profile.span("kernel.measure", intervals=n_int):
+            energy_j = (
+                window_w.reshape(n_sessions, n_int, ticks_per_interval).sum(axis=2)
+                * tick_s
+            )
+            energy_j = np.round(energy_j / quantum_j) * quantum_j
+            noise_w = np.stack([
+                sensor._rng.normal(0.0, sensor.noise_w, size=n_int)
+                for sensor in sensors
+            ])
+            measured_chunks.append(energy_j / duration + noise_w)
         intervals_done += n_int
 
     power_w = np.concatenate(power_chunks, axis=1)
@@ -452,11 +458,13 @@ def _run_lockstep_fast(jobs, machines, defenses, sensors, channels) -> list:
             if temperature_c is not None:
                 temperature_c = _grown_rows(temperature_c, capacity * ticks_per_interval)
 
-        for row, machine in enumerate(machines):
-            machine.activity_profile(
-                ticks_per_interval, settings[row], activity[row], core_fraction[row]
-            )
-        window_w = batch_window_power(models, activity, core_fraction, settings)
+        with profile.span("kernel.fast_forward", interval=interval_index):
+            for row, machine in enumerate(machines):
+                machine.activity_profile(
+                    ticks_per_interval, settings[row], activity[row], core_fraction[row]
+                )
+        with profile.span("kernel.power", interval=interval_index):
+            window_w = batch_window_power(models, activity, core_fraction, settings)
         tick_start = interval_index * ticks_per_interval
         power_w[:, tick_start:tick_start + ticks_per_interval] = window_w
         if temperature_c is not None:
@@ -464,7 +472,8 @@ def _run_lockstep_fast(jobs, machines, defenses, sensors, channels) -> list:
                 temperature_c[row, tick_start:tick_start + ticks_per_interval] = (
                     machine.thermal.advance(window_w[row], tick_s)
                 )
-        measurements_w = batched_sensor.measure_windows(window_w, tick_s)
+        with profile.span("kernel.measure", interval=interval_index):
+            measurements_w = batched_sensor.measure_windows(window_w, tick_s)
         measured_w[:, interval_index] = measurements_w
         for row, (defense, applied) in enumerate(zip(defenses, settings)):
             target_w[row, interval_index] = defense.current_target_w
@@ -473,7 +482,8 @@ def _run_lockstep_fast(jobs, machines, defenses, sensors, channels) -> list:
             settings_log[row, interval_index, 2] = applied.balloon_level
 
         applied_settings = settings
-        settings = decide_batch_fast(defenses, measurements_w)
+        with profile.span("kernel.decide", interval=interval_index):
+            settings = decide_batch_fast(defenses, measurements_w)
         if channels is not None:
             for row, channel in enumerate(channels):
                 recording = deadlines[row] is None or interval_index < deadlines[row]

@@ -135,6 +135,26 @@ class Histogram:
             "sum": self.total,
         }
 
+    def merge(self, rendered: dict) -> None:
+        """Fold a rendered snapshot in: bucket-wise counts, exact totals.
+
+        Static edges make this lossless — both sides bucketed against the
+        same boundaries, so merged counts equal the counts a single
+        registry observing the union would have produced.  Mismatched
+        edges are a schema error, not a merge.
+        """
+        edges = tuple(float(e) for e in rendered.get("edges", ()))
+        if edges != self.edges:
+            raise ValueError(
+                f"histogram edge mismatch: {list(self.edges)} vs {list(edges)}"
+            )
+        counts = rendered.get("counts", [])
+        if len(counts) != len(self.counts):
+            raise ValueError("histogram bucket-count mismatch")
+        self.counts = [a + int(b) for a, b in zip(self.counts, counts)]
+        self.n += int(rendered.get("count", 0))
+        self.total += float(rendered.get("sum", 0.0))
+
 
 class MetricsRegistry:
     """Counters, gauges, and fixed-bucket histograms, rendered sorted."""
@@ -158,6 +178,28 @@ class MetricsRegistry:
 
     def counter_value(self, name: str) -> int:
         return self._counters.get(name, 0)
+
+    def merge(self, other: object) -> "MetricsRegistry":
+        """Fold another registry (or a rendered snapshot) into this one.
+
+        Counters add exactly (integer addition); histograms merge
+        bucket-wise via :meth:`Histogram.merge`; gauges are last-write-wins
+        (callers feed snapshots in sorted order, so the fold is
+        deterministic).  Returns ``self`` so folds chain.
+        """
+        payload = other.render() if isinstance(other, MetricsRegistry) else dict(other)
+        for name, value in (payload.get("counters") or {}).items():
+            self.count(name, int(value))
+        for name, value in (payload.get("gauges") or {}).items():
+            self._gauges[name] = float(value)
+        for name, rendered in (payload.get("histograms") or {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(
+                    tuple(rendered.get("edges", ()))
+                )
+            histogram.merge(rendered)
+        return self
 
     def render(self) -> dict:
         return {
@@ -626,7 +668,12 @@ def store_session_events(sidecar_path: Path, job) -> int:
     recorder = get_recorder()
     if not recorder.enabled:
         return 0
-    source = recorder.session_path(job_identity(job))
+    try:
+        source = recorder.session_path(job_identity(job))
+    except AttributeError:
+        # Synthetic jobs (e.g. the store micro-bench) carry a cache key
+        # but no behavioural identity — they leave no session stream.
+        return 0
     try:
         data = source.read_bytes()
     except OSError:
@@ -651,7 +698,11 @@ def restore_session_events(sidecar_path: Path, job) -> int:
         data = Path(sidecar_path).read_bytes()
     except OSError:
         return 0
-    _atomic_write_bytes(recorder.session_path(job_identity(job)), data)
+    try:
+        target = recorder.session_path(job_identity(job))
+    except AttributeError:
+        return 0  # synthetic job: nothing to replay into (see above)
+    _atomic_write_bytes(target, data)
     recorder.metrics.count("telemetry.sessions.replayed")
     return len(data)
 

@@ -15,6 +15,18 @@
 * ``overhead <off.json> <on.json>`` — compare two BENCH_pipeline.json
   reports and fail when the telemetry-on run regresses the summed phase
   timings beyond the budget (the CI overhead gate).
+* ``aggregate <path...>`` — fold telemetry dirs, trace-store roots, and
+  individual artifacts into one fleet rollup
+  (``maya.telemetry.rollup.v1``; see :mod:`repro.telemetry.aggregate`).
+* ``export <path>`` — render a ``metrics.json`` snapshot or a rollup as
+  Prometheus text exposition v0.0.4 or canonical JSON
+  (:mod:`repro.telemetry.export`).
+* ``profile <path...>`` — render the span self-time tree from
+  ``profile.jsonl`` logs (total/self wall-clock, child coverage).
+
+``summarize`` and ``aggregate`` accept directories: a telemetry dir
+(``session-*.jsonl`` + snapshots) or a trace-store root, whose
+``shards/<prefix>/*.events.jsonl`` sidecars are discovered automatically.
 """
 
 from __future__ import annotations
@@ -115,17 +127,32 @@ def _summarize_metrics(path: Path) -> None:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
+    from .aggregate import discover
+
     status = 0
     for name in args.files:
         path = Path(name)
-        if not path.is_file():
+        if path.is_dir():
+            # A telemetry dir or a trace-store root: summarize every
+            # session stream (including sharded .events.jsonl sidecars)
+            # and snapshot discovered beneath it, in sorted order.
+            found = discover([path])
+            targets = found["sessions"] + found["ops"] + found["metrics"]
+            if not targets:
+                print(f"error: no telemetry artifacts under {path}", file=sys.stderr)
+                status = 2
+                continue
+        elif path.is_file():
+            targets = [path]
+        else:
             print(f"error: no such file: {path}", file=sys.stderr)
             status = 2
             continue
-        if path.suffix == ".json":
-            _summarize_metrics(path)
-        else:
-            _summarize_jsonl(path)
+        for target in targets:
+            if target.suffix == ".json":
+                _summarize_metrics(target)
+            else:
+                _summarize_jsonl(target)
     return status
 
 
@@ -280,6 +307,70 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------
+# aggregate / export / profile
+# --------------------------------------------------------------------------
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    from .aggregate import fleet_rollup
+    from .export import to_json
+
+    rollup = fleet_rollup(args.paths)
+    rendered = to_json(rollup)
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        sources = rollup["sources"]
+        print(
+            f"rollup: {sources['sessions']} sessions, "
+            f"{sources['metrics_snapshots']} snapshots, "
+            f"{sources['profiles']} profiles -> {args.out}"
+        )
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .export import to_json, to_prometheus
+
+    payload = json.loads(Path(args.path).read_text(encoding="utf-8"))
+    rendered = to_json(payload) if args.format == "json" else to_prometheus(payload)
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"exported {args.format}: {args.path} -> {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def _render_span_node(node: dict, indent: int) -> None:
+    coverage = node.get("coverage")
+    covered = f" cover={coverage:6.1%}" if coverage is not None else ""
+    print(
+        f"  {'':<{indent}}{node['name']:<{max(28 - indent, 1)}} "
+        f"n={node['count']:<7} total={node['total_s']:9.4f}s "
+        f"self={node['self_s']:9.4f}s{covered}"
+    )
+    for child in node.get("children", ()):
+        _render_span_node(child, indent + 2)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .aggregate import discover, span_tree
+
+    found = discover(args.paths)
+    if not found["profiles"]:
+        print("error: no profile.jsonl found", file=sys.stderr)
+        return 2
+    tree = span_tree(found["profiles"])
+    print(f"span tree: {len(found['profiles'])} profile log(s), "
+          f"wall {tree['wall_s']:.4f}s")
+    for root in tree["roots"]:
+        _render_span_node(root, 0)
+    return 0
+
+
+# --------------------------------------------------------------------------
 # entry point
 # --------------------------------------------------------------------------
 
@@ -296,9 +387,39 @@ def main(argv: "list | None" = None) -> int:
     )
     summarize.add_argument(
         "files", nargs="+",
-        help="session/ops .jsonl files or a metrics.json snapshot",
+        help="session/ops .jsonl files, a metrics.json snapshot, a "
+             "telemetry dir, or a trace-store root",
     )
     summarize.set_defaults(fn=_cmd_summarize)
+
+    aggregate = commands.add_parser(
+        "aggregate", help="fold telemetry artifacts into one fleet rollup"
+    )
+    aggregate.add_argument(
+        "paths", nargs="+",
+        help="telemetry dirs, trace-store roots, or individual artifacts",
+    )
+    aggregate.add_argument("--out", help="write the rollup JSON here")
+    aggregate.set_defaults(fn=_cmd_aggregate)
+
+    export = commands.add_parser(
+        "export", help="render a metrics snapshot or rollup for scraping"
+    )
+    export.add_argument("path", help="a metrics.json or rollup JSON file")
+    export.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus"
+    )
+    export.add_argument("--out", help="write the exposition here")
+    export.set_defaults(fn=_cmd_export)
+
+    span_profile = commands.add_parser(
+        "profile", help="render the span self-time tree from profile logs"
+    )
+    span_profile.add_argument(
+        "paths", nargs="+",
+        help="profile.jsonl files or directories containing them",
+    )
+    span_profile.set_defaults(fn=_cmd_profile)
 
     diff = commands.add_parser(
         "diff", help="compare two event streams (manifest headers stripped)"

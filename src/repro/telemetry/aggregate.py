@@ -1,0 +1,369 @@
+"""Cross-run aggregation: fold per-session telemetry into one fleet rollup.
+
+The recorder (PR 5) sees one session at a time: each run leaves
+``session-<digest>.jsonl`` streams, an ``ops.jsonl``, a ``metrics.json``
+snapshot, and — when profiling — a ``profile.jsonl`` span log.  The trace
+store additionally replicates session streams as ``.events.jsonl``
+sidecars next to the cached entries.  This module folds any number of
+those artifacts into a single **fleet rollup**
+(``maya.telemetry.rollup.v1``):
+
+* per-interval tracking-error and target percentiles *across* sessions
+  (the fleet-level view of the paper's Fig. 8 balance argument);
+* merged metrics via :meth:`MetricsRegistry.merge` — exact counter
+  addition and bucket-wise histogram merge, so the rollup's registry
+  equals what one registry observing every session would hold;
+* cache hit/eviction rates and, for a trace-store root, per-shard entry
+  occupancy;
+* the span self-time tree from profile logs (total/self wall-clock and
+  child coverage per span path).
+
+Everything here is a pure fold over input files: no wall-clock reads, no
+randomness, all filesystem enumeration sorted (MAYA031) and all inputs
+re-sorted before folding — the rollup is a deterministic function of the
+input *set*, independent of argument order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from . import MetricsRegistry
+
+__all__ = [
+    "ROLLUP_SCHEMA",
+    "discover",
+    "fleet_rollup",
+    "merged_registry",
+    "span_tree",
+]
+
+ROLLUP_SCHEMA = "maya.telemetry.rollup.v1"
+
+#: Percentiles rendered for the per-interval fleet series.
+_PERCENTILES = (50.0, 90.0)
+
+
+def _parse(line: str) -> dict:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return {}
+    return payload if isinstance(payload, dict) else {}
+
+
+def discover(paths) -> dict:
+    """Classify telemetry artifacts under ``paths`` (files or directories).
+
+    A directory may be a telemetry dir (``session-*.jsonl``,
+    ``metrics.json``, ``ops.jsonl``, ``profile.jsonl``), a trace-store
+    root (``shards/<prefix>/*.events.jsonl`` sidecars), or both.  Returns
+    sorted, de-duplicated path lists keyed by artifact family — plus the
+    store roots themselves, so callers can compute shard occupancy.
+    """
+    sessions: list = []
+    metrics: list = []
+    profiles: list = []
+    ops: list = []
+    stores: list = []
+
+    def classify_file(path: Path) -> None:
+        name = path.name
+        if name == "metrics.json" or path.suffix == ".json":
+            metrics.append(path)
+        elif name == "profile.jsonl":
+            profiles.append(path)
+        elif name == "ops.jsonl":
+            ops.append(path)
+        else:
+            sessions.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            classify_file(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such telemetry path: {path}")
+        shards = path / "shards"
+        if shards.is_dir():
+            stores.append(path)
+            for shard in sorted(shards.iterdir()):
+                if shard.is_dir():
+                    sessions.extend(sorted(shard.glob("*.events.jsonl")))
+        for found in sorted(path.glob("session-*.jsonl")):
+            sessions.append(found)
+        for name in ("metrics.json", "ops.jsonl", "profile.jsonl"):
+            found = path / name
+            if found.is_file():
+                classify_file(found)
+    def unique(items: list) -> list:
+        return sorted(set(items), key=str)
+
+    return {
+        "sessions": unique(sessions),
+        "metrics": unique(metrics),
+        "profiles": unique(profiles),
+        "ops": unique(ops),
+        "stores": unique(stores),
+    }
+
+
+def merged_registry(metrics_paths) -> MetricsRegistry:
+    """Fold ``metrics.json`` snapshots into one registry, in sorted order.
+
+    Counters add exactly and histograms merge bucket-wise, so the result
+    equals the snapshot a single registry observing every session would
+    have rendered (tested).  Sorting makes the gauge fold deterministic.
+    """
+    registry = MetricsRegistry()
+    for path in sorted(metrics_paths, key=str):
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        registry.merge(payload)
+    return registry
+
+
+# --------------------------------------------------------------------------
+# session streams
+# --------------------------------------------------------------------------
+
+
+def _fold_sessions(session_paths) -> dict:
+    by_defense: dict = {}
+    by_engine: dict = {}
+    totals = {"count": 0, "intervals": 0, "saturation_steps": 0, "antiwindup_steps": 0}
+    err_sum_w = 0.0
+    err_n = 0
+    err_max_w = 0.0
+    abs_err_by_t: dict = {}
+    target_by_t: dict = {}
+    for path in sorted(session_paths, key=str):
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+        totals["count"] += 1
+        for line in lines:
+            payload = _parse(line)
+            kind = payload.get("type")
+            if kind == "manifest":
+                defense = str(payload.get("defense"))
+                engine = str(payload.get("engine"))
+                by_defense[defense] = by_defense.get(defense, 0) + 1
+                by_engine[engine] = by_engine.get(engine, 0) + 1
+            elif kind == "end":
+                totals["intervals"] += int(payload.get("intervals") or 0)
+                totals["saturation_steps"] += int(payload.get("saturation_steps") or 0)
+                totals["antiwindup_steps"] += int(payload.get("antiwindup_steps") or 0)
+            elif kind == "event" and payload.get("ev") == "interval":
+                t = int(payload.get("t") or 0)
+                if "err_w" in payload:
+                    abs_err = abs(float(payload["err_w"]))
+                    err_sum_w += abs_err
+                    err_n += 1
+                    err_max_w = max(err_max_w, abs_err)
+                    abs_err_by_t.setdefault(t, []).append(abs_err)
+                if "target_w" in payload:
+                    target_by_t.setdefault(t, []).append(float(payload["target_w"]))
+    summary = dict(totals)
+    summary["by_defense"] = dict(sorted(by_defense.items()))
+    summary["by_engine"] = dict(sorted(by_engine.items()))
+    if err_n:
+        summary["err_mean_w"] = err_sum_w / err_n
+        summary["err_max_w"] = err_max_w
+    return {
+        "summary": summary,
+        "intervals": {
+            "abs_err_w": _percentile_series(abs_err_by_t),
+            "target_w": _percentile_series(target_by_t),
+        },
+    }
+
+
+def _percentile_series(values_by_t: dict) -> dict:
+    """Per-interval fleet percentiles, rendered as dense sim-time series.
+
+    ``numpy.percentile`` sorts internally, so the series depend only on
+    the per-interval value *sets*, never on session fold order.
+    """
+    if not values_by_t:
+        return {"t_max": -1, "sessions_at_t0": 0}
+    t_max = max(values_by_t)
+    series: dict = {
+        "t_max": t_max,
+        "sessions_at_t0": len(values_by_t.get(0, ())),
+    }
+    for percentile in _PERCENTILES:
+        series[f"p{percentile:.0f}"] = [
+            float(np.percentile(np.asarray(values_by_t[t]), percentile))
+            if t in values_by_t
+            else None
+            for t in range(t_max + 1)
+        ]
+    series["max"] = [
+        float(np.max(np.asarray(values_by_t[t]))) if t in values_by_t else None
+        for t in range(t_max + 1)
+    ]
+    return series
+
+
+# --------------------------------------------------------------------------
+# span tree
+# --------------------------------------------------------------------------
+
+
+def span_tree(profile_paths) -> dict:
+    """Aggregate profile logs into a self-time tree keyed by span path.
+
+    Span ids repeat across profiler instances (they are deterministic by
+    design), so aggregation keys on the *name path* from root to span —
+    each file's parent chains are resolved with that file's own id map.
+    Returns ``{"wall_s", "roots": [node...]}`` where every node carries
+    ``name/count/total_s/self_s`` and, when it has children, ``coverage``
+    (the fraction of its wall-clock its children account for).
+    """
+    stats: dict = {}
+    for path in sorted(profile_paths, key=str):
+        records = []
+        by_id: dict = {}
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            payload = _parse(line)
+            if payload.get("type") == "span" and isinstance(payload.get("id"), str):
+                records.append(payload)
+                by_id[payload["id"]] = payload
+        paths_cache: dict = {}
+
+        def name_path(record: dict) -> tuple:
+            cached = paths_cache.get(record["id"])
+            if cached is not None:
+                return cached
+            parent = by_id.get(record.get("parent") or "")
+            prefix = name_path(parent) if parent is not None else ()
+            resolved = prefix + (str(record.get("name")),)
+            paths_cache[record["id"]] = resolved
+            return resolved
+
+        for record in records:
+            node_path = name_path(record)
+            node = stats.setdefault(node_path, {"count": 0, "total_s": 0.0, "child_s": 0.0})
+            node["count"] += 1
+            node["total_s"] += float(record.get("dur_s") or 0.0)
+            parent = by_id.get(record.get("parent") or "")
+            if parent is not None:
+                parent_node = stats.setdefault(
+                    name_path(parent), {"count": 0, "total_s": 0.0, "child_s": 0.0}
+                )
+                parent_node["child_s"] += float(record.get("dur_s") or 0.0)
+
+    def render(node_path: tuple) -> dict:
+        node = stats[node_path]
+        children = sorted(
+            p for p in stats if len(p) == len(node_path) + 1 and p[: len(node_path)] == node_path
+        )
+        rendered = {
+            "name": node_path[-1],
+            "count": node["count"],
+            "total_s": node["total_s"],
+            "self_s": node["total_s"] - node["child_s"],
+        }
+        if children:
+            rendered["coverage"] = (
+                node["child_s"] / node["total_s"] if node["total_s"] > 0 else 1.0
+            )
+            rendered["children"] = [render(child) for child in children]
+        return rendered
+
+    roots = sorted(p for p in stats if len(p) == 1)
+    return {
+        "wall_s": sum(stats[p]["total_s"] for p in roots),
+        "roots": [render(p) for p in roots],
+    }
+
+
+# --------------------------------------------------------------------------
+# store occupancy
+# --------------------------------------------------------------------------
+
+
+def _store_occupancy(store_roots) -> dict:
+    shards_total = 0
+    entries_total = 0
+    counts: list = []
+    for root in sorted(store_roots, key=str):
+        shards = Path(root) / "shards"
+        for shard in sorted(shards.iterdir()):
+            if not shard.is_dir():
+                continue
+            n = sum(1 for p in sorted(shard.glob("*.npz")) if not p.name.startswith("."))
+            if n:
+                shards_total += 1
+                entries_total += n
+                counts.append(n)
+    counts.sort()
+    if not counts:
+        return {"occupied": 0, "entries": 0, "entries_min": 0,
+                "entries_median": 0.0, "entries_max": 0}
+    middle = len(counts) // 2
+    median = (
+        float(counts[middle])
+        if len(counts) % 2
+        else (counts[middle - 1] + counts[middle]) / 2.0
+    )
+    return {
+        "occupied": shards_total,
+        "entries": entries_total,
+        "entries_min": counts[0],
+        "entries_median": median,
+        "entries_max": counts[-1],
+    }
+
+
+# --------------------------------------------------------------------------
+# rollup
+# --------------------------------------------------------------------------
+
+
+def fleet_rollup(paths) -> dict:
+    """The fleet rollup of every telemetry artifact reachable from ``paths``.
+
+    Returns a ``maya.telemetry.rollup.v1`` document.  Deterministic: the
+    same input set produces the same rollup whatever the argument order.
+    """
+    found = discover(paths)
+    registry = merged_registry(found["metrics"])
+    rendered = registry.render()
+    counters = rendered["counters"]
+    hits = counters.get("exec.cache.hits", 0)
+    misses = counters.get("exec.cache.misses", 0)
+    folded = _fold_sessions(found["sessions"])
+    rollup: dict = {
+        "schema": ROLLUP_SCHEMA,
+        "sources": {
+            "sessions": len(found["sessions"]),
+            "metrics_snapshots": len(found["metrics"]),
+            "profiles": len(found["profiles"]),
+            "stores": len(found["stores"]),
+        },
+        "sessions": folded["summary"],
+        "intervals": folded["intervals"],
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "evictions": counters.get("exec.cache.evictions", 0),
+            "compactions": counters.get("exec.cache.compactions", 0),
+            "tree_scans": counters.get("exec.cache.tree_scans", 0),
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "eviction_rate": (
+                counters.get("exec.cache.evictions", 0)
+                / counters.get("exec.cache.puts", 0)
+                if counters.get("exec.cache.puts", 0)
+                else 0.0
+            ),
+        },
+        "metrics": rendered,
+    }
+    if found["stores"]:
+        rollup["store"] = _store_occupancy(found["stores"])
+    if found["profiles"]:
+        rollup["spans"] = span_tree(found["profiles"])
+    return rollup

@@ -97,6 +97,24 @@ class TestMaintenance:
         assert cache.clear() == 1
         assert cache.stats()["entries"] == 0
 
+    def test_stats_reports_compactions_and_shard_distribution(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        for i in range(3):
+            job = tiny_job(run=i)
+            cache.put(job, job.execute())
+        stats = cache.stats()
+        assert stats["compactions"] == 0
+        shards = stats["shards"]
+        assert shards["occupied"] >= 1
+        assert 1 <= shards["entries_min"] <= shards["entries_median"] \
+            <= shards["entries_max"] <= 3
+        # clear() compacts the journal eagerly and bumps the lifetime count,
+        # which the layout header persists for fresh handles to pick up.
+        cache.clear()
+        assert cache.stats()["compactions"] == 1
+        assert cache.stats()["shards"]["occupied"] == 0
+        assert TraceCache(root=tmp_path).stats()["compactions"] == 1
+
     def test_default_cache_is_env_gated(self, monkeypatch, tmp_path):
         monkeypatch.delenv("REPRO_CACHE", raising=False)
         assert default_cache() is None
@@ -495,6 +513,11 @@ class TestCli:
         assert report["entries"] == 1
         assert report["layout"] == "sharded-v2"
         assert report["tree_scans"] == 0
+        assert report["compactions"] == 0
+        assert report["shards"]["occupied"] == 1
+        assert report["shards"]["entries_min"] == 1
+        assert report["shards"]["entries_median"] == 1.0
+        assert report["shards"]["entries_max"] == 1
 
     def test_clear_command(self, tmp_path, capsys):
         cache = TraceCache(root=tmp_path)

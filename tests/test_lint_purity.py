@@ -240,8 +240,11 @@ class TestCertificates:
         # jobs started routing execute() through the batched runner; it
         # stays waived (not salted) under the exact-tier bit-identity
         # contract, while the fast kernels themselves are salted.
+        # repro.telemetry.profile followed when the engine grew span
+        # instrumentation: out-of-band by the same telemetry contract.
         assert set(waived) == {
             "repro", "repro.exec.batch", "repro.exec.jobs", "repro.telemetry",
+            "repro.telemetry.profile",
         }
         assert "code_salt()" in waived["repro.exec.jobs"]
         batched = {
